@@ -1,0 +1,92 @@
+// Shared runner for Tables III and IV: SAIM on QKP at a fixed size over
+// several density classes, reporting the paper's columns —
+// optimality % (fraction of feasible samples that hit the best-known
+// reference), average accuracy of feasible samples (with feasibility %),
+// and best accuracy. The "best SA [16]" and "PT-DA [17]" columns of the
+// paper are literature numbers from closed systems; the comparable in-repo
+// baseline is the same-budget penalty method, printed alongside.
+#pragma once
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace saim::bench {
+
+struct QkpTableConfig {
+  std::size_t n = 200;
+  std::vector<int> densities;
+  std::size_t instances_per_density = 3;
+  core::ExperimentParams params;  ///< runs/mcs possibly downscaled
+  std::uint64_t seed = 1;
+  bool with_penalty_baseline = true;
+};
+
+inline void run_qkp_table(const std::string& title,
+                          const QkpTableConfig& config) {
+  std::printf("%-12s | %8s %8s %7s %8s | %8s %7s\n", "instance", "opt't%",
+              "SAIMavg", "feas%", "SAIMbst", "PENbst", "feas%");
+  print_rule(84);
+
+  util::RunningStats opt_all;
+  util::RunningStats avg_all;
+  util::RunningStats best_all;
+  util::RunningStats pen_all;
+  std::vector<double> best_accuracies;
+
+  for (const int density : config.densities) {
+    for (std::size_t k = 1; k <= config.instances_per_density; ++k) {
+      const auto inst = problems::make_paper_qkp(config.n, density,
+                                                 static_cast<int>(k));
+
+      const auto saim =
+          run_saim_qkp(inst, config.params, config.seed + k);
+
+      core::SolveResult penalty;
+      if (config.with_penalty_baseline) {
+        penalty = run_penalty_qkp(inst, config.params,
+                                  config.params.penalty_alpha,
+                                  config.params.runs,
+                                  config.params.mcs_per_run,
+                                  config.seed + k + 777);
+      }
+
+      const double reference = best_known(
+          {saim.found_feasible ? saim.best_cost : 0.0,
+           penalty.found_feasible ? penalty.best_cost : 0.0,
+           greedy_reference_qkp(inst)});
+
+      const auto s = score_against(saim, reference);
+      const auto p = score_against(penalty, reference);
+
+      // Optimality: fraction of feasible samples whose cost equals the
+      // reference (the paper's "ratio of optimal solutions over feasible
+      // solutions").
+      const double optimality = saim.optimality_percent(reference);
+
+      std::printf("%-12s | %7.1f%% %8.1f %6.0f%% %8.1f | %8.1f %6.0f%%\n",
+                  inst.name().c_str(), optimality, s.avg_accuracy,
+                  100.0 * s.feasibility, s.best_accuracy, p.best_accuracy,
+                  100.0 * p.feasibility);
+
+      opt_all.add(optimality);
+      avg_all.add(s.avg_accuracy);
+      best_all.add(s.best_accuracy);
+      if (config.with_penalty_baseline) pen_all.add(p.best_accuracy);
+      best_accuracies.push_back(s.best_accuracy);
+    }
+  }
+
+  print_rule(84);
+  std::printf("%s averages: optimality %.1f%%, SAIM avg %.1f, SAIM best "
+              "%.1f, penalty best %.1f\n",
+              title.c_str(), opt_all.mean(), avg_all.mean(), best_all.mean(),
+              pen_all.mean());
+  const auto q = util::summarize(best_accuracies);
+  std::printf("SAIM best-accuracy quartiles: %s\n",
+              util::format_summary(q).c_str());
+}
+
+}  // namespace saim::bench

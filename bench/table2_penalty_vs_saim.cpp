@@ -1,0 +1,139 @@
+// Table II (paper): penalty method vs SAIM on QKP N=100, d in {25, 50},
+// instances k = 1..10 per density, all at the same total MCS budget.
+//
+//   column group 1: SAIM, 2000 SA runs x 1000 MCS      (untuned P = 2dN)
+//   column group 2: penalty method, same 2000 x 1000   (tuned P)
+//   column group 3: penalty method, 10 runs x 200k MCS (tuned P, the
+//                   paper's coarse >=20%-feasibility ladder)
+//
+// The tuning ladder probes with the long-run shape (10 runs of the long
+// MCS budget), matching how the paper tunes its actual experiment; the
+// tuned alpha is then reused for the same-setup penalty column — the
+// paper's high feasibility percentages there (93% avg) only make sense
+// with the tuned P, not the untuned 2dN.
+//
+// Reported per instance: best accuracy, average accuracy over feasible
+// samples, feasibility %, and the tuned P (in dN units). Accuracies are
+// against the best-known reference across all methods (see bench_common).
+#include <cinttypes>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saim;
+
+  util::ArgParser args(
+      "table2_penalty_vs_saim",
+      "Table II reproduction: penalty method vs SAIM for QKP N=100");
+  args.add_flag("instances", "instances per density class (paper: 10)", "2")
+      .add_flag("runs", "SAIM / same-setup penalty SA runs (paper: 2000)",
+                "600")
+      .add_flag("mcs", "MCS per short SA run (paper: 1000)", "1000")
+      .add_flag("long-runs", "tuned-penalty long run count (paper: 10)", "10")
+      .add_flag("seed", "base seed", "1");
+  args.add_bool("full", "paper scale: 10 instances, 2000 runs, 2e5-MCS runs");
+  if (!args.parse(argc, argv)) return 0;
+
+  const bool full = args.get_bool("full");
+  const std::size_t instances =
+      full ? 10 : static_cast<std::size_t>(args.get_int("instances"));
+  auto params = core::qkp_paper_params();
+  params.runs = full ? 2000 : static_cast<std::size_t>(args.get_int("runs"));
+  params.mcs_per_run = static_cast<std::size_t>(args.get_int("mcs"));
+  const std::size_t long_runs =
+      static_cast<std::size_t>(args.get_int("long-runs"));
+  // Equal total budget: long runs share the same MCS total as SAIM.
+  const std::size_t long_mcs = params.runs * params.mcs_per_run / long_runs;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  bench::print_banner(
+      "Table II — penalty method vs SAIM (QKP N=100)", full,
+      std::to_string(instances) + " instances/density, " +
+          std::to_string(params.runs) + " short runs, tuned penalty " +
+          std::to_string(long_runs) + " x " + std::to_string(long_mcs) +
+          " MCS");
+
+  std::printf("%-12s | %7s %7s %6s | %7s %7s %6s | %7s %7s %6s %8s\n",
+              "instance", "SAIMbst", "SAIMavg", "feas%", "PENbst", "PENavg",
+              "feas%", "TUNbst", "TUNavg", "feas%", "tunedP");
+  bench::print_rule(110);
+
+  util::RunningStats saim_best_all;
+  util::RunningStats pen_best_all;
+  util::RunningStats tuned_best_all;
+  util::RunningStats tuned_alpha_all;
+
+  for (const int density : {25, 50}) {
+    for (std::size_t k = 1; k <= instances; ++k) {
+      const auto inst =
+          problems::make_paper_qkp(100, density, static_cast<int>(k));
+      const auto mapping = problems::qkp_to_problem(inst);
+      const auto eval = core::make_qkp_evaluator(inst);
+
+      // --- SAIM, untuned P = 2dN.
+      const auto saim = bench::run_saim_qkp(inst, params, seed + k);
+
+      // --- The paper's coarse tuning loop, probing with short (1000-MCS)
+      // runs: this reproduces the published tuned range 40dN..500dN. Note
+      // a divergence documented in EXPERIMENTS.md: with our normalization
+      // the true critical penalty is ~b^2 (far above the ladder), so
+      // long, well-equilibrated runs at the tuned P still relax onto
+      // slightly-overfilled unfeasible states; the short-run probes are
+      // what keeps the tuned column competitive — the very non-robustness
+      // SAIM is designed to remove.
+      anneal::PBitBackend tune_backend(
+          pbit::Schedule::linear(params.beta_max), params.mcs_per_run);
+      core::PenaltyTuningOptions tune_opts;
+      tune_opts.probe_runs = 10;
+      tune_opts.seed = seed + k + 2000;
+      const auto tuning =
+          core::tune_penalty(mapping.problem, tune_backend, tune_opts, eval);
+
+      // --- Penalty method, long runs at the tuned P.
+      const auto pen_tuned = bench::run_penalty_qkp(
+          inst, params, tuning.alpha, long_runs, long_mcs, seed + k + 3000);
+
+      // --- Penalty method, same setup as SAIM, also at the tuned P.
+      const auto pen_short = bench::run_penalty_qkp(
+          inst, params, tuning.alpha, params.runs, params.mcs_per_run,
+          seed + k + 1000);
+
+      const double reference = bench::best_known(
+          {saim.found_feasible ? saim.best_cost : 0.0,
+           pen_short.found_feasible ? pen_short.best_cost : 0.0,
+           pen_tuned.found_feasible ? pen_tuned.best_cost : 0.0,
+           bench::greedy_reference_qkp(inst)});
+
+      const auto s1 = bench::score_against(saim, reference);
+      const auto s2 = bench::score_against(pen_short, reference);
+      const auto s3 = bench::score_against(pen_tuned, reference);
+
+      std::printf(
+          "%-12s | %7.1f %7.1f %5.0f%% | %7.1f %7.1f %5.0f%% | %7.1f %7.1f "
+          "%5.0f%% %6.0fdN\n",
+          inst.name().c_str(), s1.best_accuracy, s1.avg_accuracy,
+          100.0 * s1.feasibility, s2.best_accuracy, s2.avg_accuracy,
+          100.0 * s2.feasibility, s3.best_accuracy, s3.avg_accuracy,
+          100.0 * s3.feasibility, tuning.alpha);
+
+      saim_best_all.add(s1.best_accuracy);
+      pen_best_all.add(s2.best_accuracy);
+      tuned_best_all.add(s3.best_accuracy);
+      tuned_alpha_all.add(tuning.alpha);
+    }
+  }
+
+  bench::print_rule(110);
+  std::printf(
+      "Average best accuracy: SAIM %.1f%% | penalty(2dN) %.1f%% | "
+      "penalty(tuned, avg %.0fdN) %.1f%%\n",
+      saim_best_all.mean(), pen_best_all.mean(), tuned_alpha_all.mean(),
+      tuned_best_all.mean());
+  std::printf(
+      "Paper (Table II averages): SAIM 99.8 | penalty same-setup 85.0 | "
+      "penalty tuned 88.8 (avg 195dN)\n");
+  std::printf(
+      "Expected shape: SAIM column dominates both penalty columns, and the "
+      "tuned-P ladder lands well above 2dN.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table III (paper): QKP results for 200 variables, densities 25/50/75/100,
+// 10 instances each. Columns: Optimality %, SAIM avg accuracy (feasibility),
+// SAIM best accuracy. The paper's "best SA [16]" (96.7 avg best) and
+// "PT-DA [17]" (90.9) columns are literature numbers; the in-repo
+// same-budget penalty method is printed as the measurable baseline.
+// Paper headline: SAIM average best accuracy 99.2, above both baselines.
+#include "qkp_table_bench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saim;
+
+  util::ArgParser args("table3_qkp200",
+                       "Table III reproduction: SAIM on QKP N=200");
+  args.add_flag("instances", "instances per density (paper: 10)", "2")
+      .add_flag("runs", "SAIM iterations K (paper: 2000)", "800")
+      .add_flag("mcs", "MCS per run (paper: 1000)", "1000")
+      .add_flag("seed", "base seed", "1");
+  args.add_bool("full", "paper scale: 10 instances x 2000 runs");
+  if (!args.parse(argc, argv)) return 0;
+
+  const bool full = args.get_bool("full");
+  bench::QkpTableConfig config;
+  config.n = 200;
+  config.densities = {25, 50, 75, 100};
+  config.instances_per_density =
+      full ? 10 : static_cast<std::size_t>(args.get_int("instances"));
+  config.params = core::qkp_paper_params();
+  config.params.runs =
+      full ? 2000 : static_cast<std::size_t>(args.get_int("runs"));
+  config.params.mcs_per_run =
+      static_cast<std::size_t>(args.get_int("mcs"));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  bench::print_banner("Table III — QKP N=200 (paper: SAIM avg best 99.2, "
+                      "best SA 96.7, PT-DA 90.9)",
+                      full,
+                      std::to_string(config.instances_per_density) +
+                          " instances/density, " +
+                          std::to_string(config.params.runs) + " runs");
+  bench::run_qkp_table("Table III", config);
+  return 0;
+}

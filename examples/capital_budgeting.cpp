@@ -1,0 +1,103 @@
+// Capital budgeting as a multidimensional knapsack — one of the paper's
+// motivating applications ("constraints on limited resources are found in
+// capital budgeting, portfolio optimization, or production planning").
+//
+// A firm must pick a subset of candidate projects. Each project has an
+// expected payoff and consumes budget in each of M planning periods; each
+// period has a fixed budget cap. This is exactly MKP (eq. 14). The example
+// solves the same instance three ways and cross-checks them:
+//   * SAIM on a p-bit machine (paper parameters: P=5dN, eta=0.05),
+//   * the Chu–Beasley genetic algorithm,
+//   * exact branch & bound (the intlinprog stand-in) as ground truth.
+#include <cstdio>
+
+#include "anneal/backend.hpp"
+#include "core/penalty_method.hpp"
+#include "core/saim_solver.hpp"
+#include "exact/mkp_branch_bound.hpp"
+#include "ga/chu_beasley.hpp"
+#include "problems/mkp.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace saim;
+
+  // 40 candidate projects over 4 annual budget cycles. Generated with the
+  // Chu–Beasley scheme: per-period costs U[1,1000], payoff correlated with
+  // total cost (realistic: expensive projects tend to pay more), budgets
+  // covering half the total demand.
+  problems::MkpGeneratorParams gen;
+  gen.n = 40;
+  gen.m = 4;
+  gen.seed = 2024;
+  gen.tightness = 0.5;
+  const auto portfolio = problems::generate_mkp(gen);
+  std::printf("capital budgeting: %zu projects, %zu budget periods\n",
+              portfolio.n(), portfolio.m());
+  for (std::size_t p = 0; p < portfolio.m(); ++p) {
+    std::printf("  period %zu budget: %lld\n", p,
+                static_cast<long long>(portfolio.capacity(p)));
+  }
+
+  // --- Ground truth.
+  util::WallTimer timer;
+  const auto exact = exact::solve_mkp_bnb(portfolio);
+  std::printf("\nB&B optimum: payoff %lld (%s, %.2fs, %llu nodes)\n",
+              static_cast<long long>(exact.best_profit),
+              exact.proven_optimal ? "proven" : "budget hit",
+              exact.seconds, static_cast<unsigned long long>(exact.nodes));
+
+  // --- SAIM.
+  const auto mapping = problems::mkp_to_problem(portfolio);
+  anneal::PBitBackend backend(pbit::Schedule::linear(50.0), 1000);
+  core::SaimOptions opts;
+  opts.iterations = 800;
+  // The paper's Table-I eta of 0.05 is sized for 250-item instances and
+  // ~5000 iterations; this 40-project portfolio tolerates a larger dual
+  // step, which converges well within the example's 800 iterations.
+  opts.eta = 0.2;
+  opts.penalty_alpha = 5.0;
+  opts.seed = 7;
+  timer.reset();
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto saim = solver.solve(core::make_mkp_evaluator(portfolio));
+  const double saim_seconds = timer.seconds();
+
+  // --- GA.
+  ga::GaOptions ga_opts;
+  ga_opts.children = 30000;
+  ga_opts.seed = 3;
+  timer.reset();
+  const auto ga_result = ga::solve_mkp_ga(portfolio, ga_opts);
+  const double ga_seconds = timer.seconds();
+
+  std::printf("\n%-22s %10s %10s %8s\n", "method", "payoff", "gap-to-opt",
+              "time(s)");
+  auto report = [&](const char* name, double payoff, double seconds) {
+    const double gap =
+        100.0 * (static_cast<double>(exact.best_profit) - payoff) /
+        static_cast<double>(exact.best_profit);
+    std::printf("%-22s %10.0f %9.2f%% %8.2f\n", name, payoff, gap, seconds);
+  };
+  report("B&B (exact)", static_cast<double>(exact.best_profit),
+         exact.seconds);
+  report("SAIM (p-bit IM)", saim.found_feasible ? -saim.best_cost : 0.0,
+         saim_seconds);
+  report("Chu-Beasley GA", static_cast<double>(ga_result.best_profit),
+         ga_seconds);
+
+  if (saim.found_feasible) {
+    std::printf("\nSAIM-selected portfolio (%zu of %zu projects):",
+                static_cast<std::size_t>(
+                    std::count(saim.best_x.begin(), saim.best_x.end(), 1)),
+                portfolio.n());
+    for (std::size_t j = 0; j < portfolio.n(); ++j) {
+      if (saim.best_x[j]) std::printf(" %zu", j);
+    }
+    std::printf("\nfeasibility of measured samples: %.1f%% "
+                "(multiple constraints are hard to satisfy — the paper "
+                "reports ~5%% on MKP)\n",
+                100.0 * saim.feasibility_rate());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Mean-variance portfolio selection under a budget — the paper's
+// "portfolio optimization" motivation with a genuinely quadratic,
+// real-valued objective (correlated risk), solved by SAIM on the p-bit
+// machine and cross-checked against exhaustive enumeration.
+//
+// Also demonstrates the risk-aversion dial: sweeping kappa trades expected
+// return against portfolio variance along the efficient frontier.
+#include <cstdio>
+
+#include "anneal/backend.hpp"
+#include "core/saim_solver.hpp"
+#include "exact/exhaustive.hpp"
+#include "problems/portfolio.hpp"
+
+int main() {
+  using namespace saim;
+  using namespace saim::problems;
+
+  PortfolioGeneratorParams gen;
+  gen.n = 18;  // enumerable, so every SAIM answer below is verified exact
+  gen.factors = 3;
+  gen.seed = 42;
+  gen.budget_fraction = 0.35;
+
+  std::printf("%6s | %10s %10s %10s | %8s %9s\n", "kappa", "return",
+              "risk", "objective", "assets", "verified");
+  for (const double kappa : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    gen.risk_aversion = kappa;
+    const auto inst = problems::generate_portfolio(gen);
+
+    const auto mapping = problems::portfolio_to_problem(inst);
+    anneal::PBitBackend backend(pbit::Schedule::linear(10.0), 800);
+    core::SaimOptions opts;
+    opts.iterations = 250;
+    opts.eta = 5.0;
+    opts.penalty_alpha = 2.0;
+    opts.seed = 9;
+    core::SaimSolver solver(mapping.problem, backend, opts);
+    const auto result =
+        solver.solve([&](std::span<const std::uint8_t> x) {
+          core::SampleVerdict v;
+          const auto decision = x.first(inst.n());
+          v.feasible = inst.feasible(decision);
+          v.cost = inst.objective(decision);
+          return v;
+        });
+
+    const auto exact = exact::exhaustive_minimize(
+        inst.n(), [&](std::span<const std::uint8_t> x) {
+          exact::Verdict v;
+          v.feasible = inst.feasible(x);
+          v.cost = inst.objective(x);
+          return v;
+        });
+
+    if (!result.found_feasible) {
+      std::printf("%6.1f | no feasible sample found\n", kappa);
+      continue;
+    }
+    std::size_t picked = 0;
+    for (const auto b : result.best_x) picked += b;
+    const bool verified =
+        std::abs(result.best_cost - exact.best_cost) < 1e-9;
+    std::printf("%6.1f | %10.4f %10.5f %10.4f | %5zu/%-2zu %9s\n", kappa,
+                inst.portfolio_return(result.best_x),
+                inst.portfolio_risk(result.best_x), result.best_cost,
+                picked, inst.n(), verified ? "exact" : "suboptimal");
+  }
+  std::printf("\nthe frontier behaves as theory demands: higher kappa -> "
+              "lower risk, usually lower return, fewer/cleaner assets.\n");
+  return 0;
+}

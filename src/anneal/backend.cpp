@@ -1,0 +1,33 @@
+#include "anneal/backend.hpp"
+
+#include <stdexcept>
+
+namespace saim::anneal {
+
+PBitBackend::PBitBackend(pbit::Schedule schedule, std::size_t sweeps,
+                         pbit::SweepOrder order, bool track_best)
+    : schedule_(schedule) {
+  options_.sweeps = sweeps;
+  options_.order = order;
+  options_.track_best = track_best;
+}
+
+void PBitBackend::bind(const ising::IsingModel& model) {
+  machine_ = std::make_unique<pbit::PBitMachine>(model);
+  previous_state_.clear();
+}
+
+RunResult PBitBackend::run(util::Xoshiro256pp& rng) {
+  if (!machine_) {
+    throw std::logic_error("PBitBackend::run called before bind()");
+  }
+  auto r = warm_restart_ && previous_state_.size() == machine_->n()
+               ? machine_->anneal_from(previous_state_, schedule_, options_,
+                                       rng)
+               : machine_->anneal(schedule_, options_, rng);
+  if (warm_restart_) previous_state_ = r.last;
+  return RunResult{std::move(r.last), r.last_energy, std::move(r.best),
+                   r.best_energy, r.sweeps};
+}
+
+}  // namespace saim::anneal

@@ -1,0 +1,83 @@
+// Solver-backend abstraction: SAIM's outer loop (Algorithm 1) only needs
+// "minimize the current Hamiltonian and hand back the sample you ended on".
+// The paper stresses the method "is compatible with any programmable IM";
+// this interface is that compatibility point. Three backends ship in-repo:
+//
+//   * PBitBackend            — annealed p-bit Gibbs machine (paper's choice)
+//   * MetropolisSaBackend    — classical single-flip simulated annealing
+//   * ParallelTemperingBackend — replica-exchange MC (the PT-DA stand-in)
+//
+// A backend is bound to one IsingModel whose *couplings* stay fixed for its
+// lifetime; SAIM rewrites the model's fields h between runs and calls
+// fields_updated().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "ising/ising_model.hpp"
+#include "pbit/pbit_machine.hpp"
+#include "pbit/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace saim::anneal {
+
+struct RunResult {
+  ising::Spins last;         ///< state read at the end of the run
+  double last_energy = 0.0;  ///< H(last)
+  ising::Spins best;         ///< lowest-energy state visited during the run
+  double best_energy = 0.0;
+  std::size_t sweeps = 0;  ///< Monte-Carlo sweeps consumed by this run
+};
+
+class IsingSolverBackend {
+ public:
+  virtual ~IsingSolverBackend() = default;
+
+  /// Binds to `model` (must outlive the backend) and builds sweep structures.
+  virtual void bind(const ising::IsingModel& model) = 0;
+
+  /// Called after the bound model's fields (not couplings) changed.
+  virtual void fields_updated() {}
+
+  /// One independent minimization run from a random initial state.
+  virtual RunResult run(util::Xoshiro256pp& rng) = 0;
+
+  /// MCS consumed per run() call — used for sample-budget accounting
+  /// (Fig. 4b compares methods at equal MCS).
+  [[nodiscard]] virtual std::size_t sweeps_per_run() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's backend: p-bit machine annealed with a (linear) beta ramp.
+class PBitBackend final : public IsingSolverBackend {
+ public:
+  PBitBackend(pbit::Schedule schedule, std::size_t sweeps,
+              pbit::SweepOrder order = pbit::SweepOrder::kSequential,
+              bool track_best = false);
+
+  void bind(const ising::IsingModel& model) override;
+  RunResult run(util::Xoshiro256pp& rng) override;
+  [[nodiscard]] std::size_t sweeps_per_run() const override {
+    return options_.sweeps;
+  }
+  [[nodiscard]] std::string name() const override { return "pbit"; }
+
+  /// Warm restarts (ablation; off by default = the paper's cold starts):
+  /// each run() continues from the previous run's final state instead of a
+  /// fresh random one. SAIM's landscape changes only slightly per lambda
+  /// update once the multipliers settle, so the previous sample is a
+  /// near-equilibrium start.
+  void set_warm_restart(bool enabled) noexcept { warm_restart_ = enabled; }
+
+ private:
+  pbit::Schedule schedule_;
+  pbit::AnnealOptions options_;
+  std::unique_ptr<pbit::PBitMachine> machine_;
+  bool warm_restart_ = false;
+  ising::Spins previous_state_;
+};
+
+}  // namespace saim::anneal

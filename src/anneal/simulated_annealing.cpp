@@ -1,0 +1,77 @@
+#include "anneal/simulated_annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace saim::anneal {
+
+MetropolisSa::MetropolisSa(const ising::IsingModel& model)
+    : model_(&model), adjacency_(model) {}
+
+RunResult MetropolisSa::run(const pbit::Schedule& schedule,
+                            const SaOptions& options,
+                            util::Xoshiro256pp& rng) const {
+  ising::Spins start(model_->n());
+  for (auto& s : start) {
+    s = rng.bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return run_from(std::move(start), schedule, options, rng);
+}
+
+RunResult MetropolisSa::run_from(ising::Spins start,
+                                 const pbit::Schedule& schedule,
+                                 const SaOptions& options,
+                                 util::Xoshiro256pp& rng) const {
+  RunResult result;
+  result.last = std::move(start);
+  result.sweeps = options.sweeps;
+
+  const std::size_t n = model_->n();
+  double energy = model_->energy(result.last);
+  result.best = result.last;
+  result.best_energy = energy;
+
+  for (std::size_t t = 0; t < options.sweeps; ++t) {
+    const double beta = schedule.beta(t, options.sweeps);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double in =
+          adjacency_.coupling_input(result.last, i) + model_->field(i);
+      const double delta = 2.0 * static_cast<double>(result.last[i]) * in;
+      if (delta <= 0.0 || rng.uniform01() < std::exp(-beta * delta)) {
+        result.last[i] = static_cast<std::int8_t>(-result.last[i]);
+        energy += delta;
+      }
+    }
+    if (options.track_best && energy < result.best_energy) {
+      result.best_energy = energy;
+      result.best = result.last;
+    }
+  }
+  result.last_energy = energy;
+  if (!options.track_best) {
+    result.best = result.last;
+    result.best_energy = energy;
+  }
+  return result;
+}
+
+MetropolisSaBackend::MetropolisSaBackend(pbit::Schedule schedule,
+                                         std::size_t sweeps, bool track_best)
+    : schedule_(schedule) {
+  options_.sweeps = sweeps;
+  options_.track_best = track_best;
+}
+
+void MetropolisSaBackend::bind(const ising::IsingModel& model) {
+  sa_ = std::make_unique<MetropolisSa>(model);
+}
+
+RunResult MetropolisSaBackend::run(util::Xoshiro256pp& rng) {
+  if (!sa_) {
+    throw std::logic_error("MetropolisSaBackend::run called before bind()");
+  }
+  return sa_->run(schedule_, options_, rng);
+}
+
+}  // namespace saim::anneal

@@ -1,0 +1,121 @@
+#include "anneal/tabu.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace saim::anneal {
+
+TabuSearch::TabuSearch(const ising::IsingModel& model, TabuOptions options)
+    : model_(&model), adjacency_(model), options_(options) {
+  if (options_.tenure == 0) {
+    throw std::invalid_argument("TabuSearch: tenure must be positive");
+  }
+}
+
+RunResult TabuSearch::run(util::Xoshiro256pp& rng) const {
+  const std::size_t n = model_->n();
+  RunResult result;
+
+  auto random_state = [&] {
+    ising::Spins m(n);
+    for (auto& s : m) s = rng.bernoulli(0.5) ? 1 : -1;
+    return m;
+  };
+
+  ising::Spins state = random_state();
+  double energy = model_->energy(state);
+  result.best = state;
+  result.best_energy = energy;
+
+  // delta[i] = energy change of flipping spin i; maintained incrementally:
+  // flipping j negates delta[j] and shifts neighbours by 4 J_ij m_i m_j.
+  std::vector<double> delta(n);
+  auto recompute_deltas = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      delta[i] = model_->flip_delta(state, i);
+    }
+  };
+  recompute_deltas();
+
+  std::vector<std::size_t> tabu_until(n, 0);
+  std::size_t stall = 0;
+
+  for (std::size_t step = 1; step <= options_.steps; ++step) {
+    std::size_t best_move = n;
+    double best_delta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool is_tabu = tabu_until[i] >= step;
+      // Aspiration: a tabu move is allowed if it beats the incumbent.
+      const bool aspirated =
+          is_tabu && energy + delta[i] < result.best_energy;
+      if (is_tabu && !aspirated) continue;
+      if (delta[i] < best_delta) {
+        best_delta = delta[i];
+        best_move = i;
+      }
+    }
+    if (best_move == n) {
+      // Everything tabu and nothing aspirated — age out by one step.
+      continue;
+    }
+
+    // Apply the move.
+    const std::size_t j = best_move;
+    energy += delta[j];
+    state[j] = static_cast<std::int8_t>(-state[j]);
+    tabu_until[j] = step + options_.tenure;
+    delta[j] = -delta[j];
+    const auto nbr = adjacency_.neighbors(j);
+    const auto w = adjacency_.weights(j);
+    for (std::size_t k = 0; k < nbr.size(); ++k) {
+      const std::size_t i = nbr[k];
+      // dH_i = 2 m_i I_i with I_i containing J_ij m_j: m_j changed sign,
+      // shifting delta[i] by 2 m_i * J_ij * (m_j_new - m_j_old)
+      //       = 2 m_i J_ij * 2 m_j_new = 4 J_ij m_i m_j_new... but in our
+      // convention H = -sum J m m, so flip_delta = 2 m_i I_i with
+      // I_i = sum J_ij m_j + h_i and dH(flip i) = 2 m_i I_i. After m_j
+      // flips, I_i changes by 2 J_ij m_j_new, so delta[i] changes by
+      // 4 m_i J_ij m_j_new.
+      delta[i] += 4.0 * static_cast<double>(state[i]) * w[k] *
+                  static_cast<double>(state[j]);
+    }
+
+    if (energy < result.best_energy - 1e-15) {
+      result.best_energy = energy;
+      result.best = state;
+      stall = 0;
+    } else if (options_.stall_limit != 0 &&
+               ++stall >= options_.stall_limit) {
+      state = random_state();
+      energy = model_->energy(state);
+      recompute_deltas();
+      std::fill(tabu_until.begin(), tabu_until.end(), 0);
+      stall = 0;
+    }
+  }
+
+  result.last = state;
+  result.last_energy = energy;
+  result.sweeps = (options_.steps + n - 1) / (n == 0 ? 1 : n);
+  return result;
+}
+
+TabuBackend::TabuBackend(TabuOptions options) : options_(options) {}
+
+void TabuBackend::bind(const ising::IsingModel& model) {
+  tabu_ = std::make_unique<TabuSearch>(model, options_);
+  n_ = model.n();
+}
+
+RunResult TabuBackend::run(util::Xoshiro256pp& rng) {
+  if (!tabu_) {
+    throw std::logic_error("TabuBackend::run called before bind()");
+  }
+  return tabu_->run(rng);
+}
+
+std::size_t TabuBackend::sweeps_per_run() const {
+  return n_ == 0 ? options_.steps : (options_.steps + n_ - 1) / n_;
+}
+
+}  // namespace saim::anneal

@@ -1,0 +1,51 @@
+#include "core/multi_start.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saim::core {
+
+MultiStartResult multi_start_saim(
+    const problems::ConstrainedProblem& problem, const BackendFactory& make,
+    const SaimOptions& options, const MultiStartOptions& multi,
+    const SampleEvaluator& evaluate) {
+  if (multi.restarts == 0) {
+    throw std::invalid_argument("multi_start_saim: restarts must be > 0");
+  }
+  if (!make) {
+    throw std::invalid_argument("multi_start_saim: null backend factory");
+  }
+
+  MultiStartResult aggregate;
+  bool have_best = false;
+  for (std::size_t r = 0; r < multi.restarts; ++r) {
+    auto backend = make();
+    if (!backend) {
+      throw std::invalid_argument(
+          "multi_start_saim: factory returned null backend");
+    }
+    SaimOptions opts = options;
+    opts.seed = util::derive_seed(multi.seed, r);
+    SaimSolver solver(problem, *backend, opts);
+    SolveResult result = solver.solve(evaluate);
+
+    aggregate.total_sweeps += result.total_sweeps;
+    if (result.found_feasible) {
+      ++aggregate.feasible_restarts;
+      aggregate.restart_best_costs.add(result.best_cost);
+      if (!have_best || result.best_cost < aggregate.best.best_cost) {
+        aggregate.best = std::move(result);
+        aggregate.best_restart = r;
+        have_best = true;
+      }
+    } else if (!have_best && r == 0) {
+      // Keep the first result so callers always see run accounting even
+      // when nothing is feasible.
+      aggregate.best = std::move(result);
+    }
+  }
+  return aggregate;
+}
+
+}  // namespace saim::core

@@ -1,0 +1,25 @@
+#include "core/params.hpp"
+
+namespace saim::core {
+
+ExperimentParams qkp_paper_params() {
+  ExperimentParams p;
+  p.penalty_alpha = 2.0;
+  p.mcs_per_run = 1000;
+  p.runs = 2000;
+  p.beta_max = 10.0;
+  p.eta = 20.0;
+  return p;
+}
+
+ExperimentParams mkp_paper_params() {
+  ExperimentParams p;
+  p.penalty_alpha = 5.0;
+  p.mcs_per_run = 1000;
+  p.runs = 5000;
+  p.beta_max = 50.0;
+  p.eta = 0.05;
+  return p;
+}
+
+}  // namespace saim::core

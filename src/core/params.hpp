@@ -1,0 +1,28 @@
+// The paper's Table I — hyper-parameters used in the QKP and MKP
+// experiments. Every bench binary starts from these presets and only
+// overrides what its command line asks for.
+//
+//   Experiment | Penalty | MCS/run | runs | beta_max | eta
+//   QKP        | 2dN     | 1000    | 2000 | 10       | 20
+//   MKP        | 5dN     | 1000    | 5000 | 50       | 0.05
+#pragma once
+
+#include <cstddef>
+
+namespace saim::core {
+
+struct ExperimentParams {
+  double penalty_alpha = 2.0;    ///< P = alpha * d * N
+  std::size_t mcs_per_run = 1000;
+  std::size_t runs = 2000;       ///< K outer iterations
+  double beta_max = 10.0;        ///< linear schedule 0 -> beta_max
+  double eta = 20.0;             ///< subgradient step size
+};
+
+/// QKP row of Table I.
+ExperimentParams qkp_paper_params();
+
+/// MKP row of Table I.
+ExperimentParams mkp_paper_params();
+
+}  // namespace saim::core

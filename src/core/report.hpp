@@ -1,0 +1,32 @@
+// Result reporting: serializes SolveResult summaries (accuracy, feasibility,
+// sample budget, TTS) into CSV rows so experiment campaigns can be archived
+// and diffed. Used by the bench harnesses' --csv modes and by downstream
+// users building their own sweeps.
+#pragma once
+
+#include <string>
+
+#include "core/result.hpp"
+#include "core/tts.hpp"
+#include "util/csv.hpp"
+
+namespace saim::core {
+
+struct ReportRow {
+  std::string instance;  ///< e.g. "300-50-8"
+  std::string method;    ///< e.g. "saim-pbit"
+  double reference_cost = 0.0;  ///< OPT or best-known (negative)
+  double seconds = 0.0;         ///< wall time of the solve
+};
+
+/// Writes the CSV header matching report_result() rows.
+void write_report_header(util::CsvWriter& csv);
+
+/// One row: instance, method, best/avg accuracy, feasibility, runs, MCS,
+/// seconds, TTS(99) in MCS (inf -> empty field). TTS uses the per-run MCS
+/// and the reference cost as the success target; it is only computed when
+/// the result carries per-sample feasible costs.
+void report_result(util::CsvWriter& csv, const ReportRow& row,
+                   const SolveResult& result);
+
+}  // namespace saim::core

@@ -1,0 +1,31 @@
+#include "core/result.hpp"
+
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace saim::core {
+
+// Writes a recorded history as CSV: iteration, cost, feasible, L, maxviol,
+// lambda_0..lambda_{M-1}. This is the on-disk format behind the Fig. 3 and
+// Fig. 5 traces.
+void write_history_csv(util::CsvWriter& csv,
+                       const std::vector<IterationRecord>& history) {
+  if (history.empty()) return;
+  std::vector<std::string> header = {"iteration", "cost", "feasible",
+                                     "lagrangian", "max_violation"};
+  for (std::size_t m = 0; m < history.front().lambda.size(); ++m) {
+    header.push_back("lambda_" + std::to_string(m));
+  }
+  csv.write_row(header);
+  for (const auto& rec : history) {
+    std::vector<double> row = {static_cast<double>(rec.iteration),
+                               rec.sample_cost,
+                               rec.feasible ? 1.0 : 0.0,
+                               rec.lagrangian_energy, rec.max_violation};
+    row.insert(row.end(), rec.lambda.begin(), rec.lambda.end());
+    csv.write_row(row);
+  }
+}
+
+}  // namespace saim::core

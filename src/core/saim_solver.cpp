@@ -1,0 +1,128 @@
+#include "core/saim_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "ising/convert.hpp"
+#include "lagrange/lagrangian_model.hpp"
+
+namespace saim::core {
+
+SaimSolver::SaimSolver(const problems::ConstrainedProblem& problem,
+                       anneal::IsingSolverBackend& backend,
+                       SaimOptions options)
+    : problem_(&problem),
+      backend_(&backend),
+      options_(options),
+      model_(problem, options.penalty >= 0.0
+                          ? options.penalty
+                          : lagrange::heuristic_penalty(
+                                problem, options.penalty_alpha)) {
+  if (options_.iterations == 0) {
+    throw std::invalid_argument("SaimSolver: iterations must be positive");
+  }
+  backend_->bind(model_.ising());
+}
+
+double SaimSolver::step_size(std::size_t k) const noexcept {
+  switch (options_.step_rule) {
+    case StepRule::kFixed:
+      return options_.eta;
+    case StepRule::kDiminishing:
+      return options_.eta / std::sqrt(static_cast<double>(k + 1));
+    case StepRule::kHarmonic:
+      return options_.eta / static_cast<double>(k + 1);
+  }
+  return options_.eta;
+}
+
+SolveResult SaimSolver::solve(const SampleEvaluator& evaluate) {
+  const SampleEvaluator& judge =
+      evaluate ? evaluate : make_equality_evaluator(*problem_);
+
+  util::Xoshiro256pp rng(options_.seed);
+  std::vector<double> lambda(problem_->num_constraints(), 0.0);
+  model_.set_lambda(lambda);
+  backend_->fields_updated();
+
+  SolveResult result;
+  if (options_.record_history) result.history.reserve(options_.iterations);
+  std::size_t converged_streak = 0;
+
+  for (std::size_t k = 0; k < options_.iterations; ++k) {
+    // Minimize L_k with the Ising machine; read the measured sample.
+    const anneal::RunResult run = backend_->run(rng);
+    const auto& spins = options_.use_best_sample ? run.best : run.last;
+    const ising::Bits x = ising::spins_to_bits(spins);
+
+    // Store feasible solutions, judged on the original problem.
+    const SampleVerdict verdict = judge(x);
+    if (verdict.feasible) {
+      ++result.feasible_count;
+      result.found_feasible = true;
+      result.feasible_cost_stats.add(verdict.cost);
+      if (options_.collect_feasible_costs) {
+        result.feasible_costs.push_back(verdict.cost);
+      }
+      if (verdict.cost < result.best_cost) {
+        result.best_cost = verdict.cost;
+        result.best_x.assign(x.begin(),
+                             x.begin() + static_cast<std::ptrdiff_t>(
+                                             problem_->num_decision()));
+      }
+    }
+
+    // Subgradient ascent on the dual: lambda <- lambda + eta_k g(x_k).
+    const std::vector<double> g = problem_->constraint_values(x);
+    if (options_.record_history) {
+      IterationRecord rec;
+      rec.iteration = k;
+      rec.sample_cost = verdict.cost;
+      rec.feasible = verdict.feasible;
+      rec.lagrangian_energy = model_.lagrangian(x);
+      rec.max_violation = problem_->max_violation(x);
+      rec.lambda = lambda;
+      result.history.push_back(std::move(rec));
+    }
+    const double eta_k = step_size(k);
+    double lambda_change = 0.0;
+    for (std::size_t m = 0; m < lambda.size(); ++m) {
+      const double step = eta_k * g[m];
+      lambda[m] += step;
+      lambda_change += std::abs(step);
+    }
+    model_.set_lambda(lambda);
+    backend_->fields_updated();
+
+    result.total_sweeps += run.sweeps;
+    ++result.total_runs;
+
+    // Optional early stop once the multiplier staircase has flattened and
+    // the feasible pool is non-empty.
+    if (options_.convergence_patience > 0) {
+      const double mean_change =
+          lambda.empty() ? 0.0
+                         : lambda_change / static_cast<double>(lambda.size());
+      if (mean_change <= options_.convergence_tol && result.found_feasible) {
+        ++converged_streak;
+        if (converged_streak >= options_.convergence_patience) break;
+      } else {
+        converged_streak = 0;
+      }
+    }
+  }
+  return result;
+}
+
+SampleEvaluator make_equality_evaluator(
+    const problems::ConstrainedProblem& problem, double tol) {
+  return [&problem, tol](std::span<const std::uint8_t> x) {
+    SampleVerdict v;
+    v.feasible = problem.max_violation(x) <= tol;
+    v.cost = problem.objective_value(x);
+    return v;
+  };
+}
+
+}  // namespace saim::core

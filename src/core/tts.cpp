@@ -1,0 +1,56 @@
+#include "core/tts.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace saim::core {
+
+TtsEstimate time_to_solution(std::size_t successes, std::size_t runs,
+                             double cost_per_run, double q) {
+  if (runs == 0) {
+    throw std::invalid_argument("time_to_solution: runs must be positive");
+  }
+  if (successes > runs) {
+    throw std::invalid_argument("time_to_solution: successes > runs");
+  }
+  if (q <= 0.0 || q >= 1.0) {
+    throw std::invalid_argument("time_to_solution: q must be in (0,1)");
+  }
+  TtsEstimate e;
+  e.success_probability =
+      static_cast<double>(successes) / static_cast<double>(runs);
+  if (successes == 0) {
+    e.defined = false;
+    e.expected_restarts = std::numeric_limits<double>::infinity();
+    e.tts = std::numeric_limits<double>::infinity();
+    return e;
+  }
+  e.defined = true;
+  if (successes == runs) {
+    // p = 1: every run solves; the conventional definition collapses to a
+    // single run.
+    e.certain = true;
+    e.expected_restarts = 1.0;
+    e.tts = cost_per_run;
+    return e;
+  }
+  e.expected_restarts =
+      std::log(1.0 - q) / std::log(1.0 - e.success_probability);
+  // A run count below one makes no sense operationally.
+  if (e.expected_restarts < 1.0) e.expected_restarts = 1.0;
+  e.tts = e.expected_restarts * cost_per_run;
+  return e;
+}
+
+TtsEstimate time_to_solution_from_costs(std::span<const double> run_costs,
+                                        double target, double cost_per_run,
+                                        double q, double tol) {
+  std::size_t successes = 0;
+  for (const double c : run_costs) {
+    if (c <= target + tol) ++successes;
+  }
+  return time_to_solution(successes, run_costs.size(), cost_per_run, q);
+}
+
+}  // namespace saim::core

@@ -1,0 +1,38 @@
+// Time-to-solution (TTS) metrics — the Ising-machine community's standard
+// way to compare stochastic solvers (used by the Digital Annealer paper [9]
+// the PT-DA baseline builds on). Given R independent runs of which S
+// succeeded (hit the target quality), the success probability estimate is
+// p = S/R and
+//
+//   TTS(q) = t_run * ln(1 - q) / ln(1 - p)
+//
+// is the expected time to reach the target at confidence q (conventionally
+// 0.99). The same formula with "MCS per run" in place of t_run yields the
+// samples-to-solution the paper's Fig. 4b compares.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace saim::core {
+
+struct TtsEstimate {
+  double success_probability = 0.0;  ///< p = successes / runs
+  double expected_restarts = 0.0;    ///< ln(1-q)/ln(1-p)
+  double tts = 0.0;                  ///< expected_restarts * cost_per_run
+  bool defined = false;  ///< false when p == 0 (never solved) — tts = inf
+  bool certain = false;  ///< true when p == 1 (single run suffices)
+};
+
+/// Computes TTS from counts. cost_per_run may be wall-time seconds or MCS.
+/// quantile q must be in (0, 1).
+TtsEstimate time_to_solution(std::size_t successes, std::size_t runs,
+                             double cost_per_run, double q = 0.99);
+
+/// Convenience over a sequence of per-run achieved costs: success means
+/// cost <= target + tol (costs are negative for knapsack profits).
+TtsEstimate time_to_solution_from_costs(std::span<const double> run_costs,
+                                        double target, double cost_per_run,
+                                        double q = 0.99, double tol = 1e-9);
+
+}  // namespace saim::core

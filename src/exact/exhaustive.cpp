@@ -1,0 +1,31 @@
+#include "exact/exhaustive.hpp"
+
+#include <stdexcept>
+
+namespace saim::exact {
+
+ExhaustiveResult exhaustive_minimize(std::size_t n, const Oracle& oracle) {
+  if (n > 30) {
+    throw std::invalid_argument(
+        "exhaustive_minimize: n too large for enumeration");
+  }
+  ExhaustiveResult result;
+  std::vector<std::uint8_t> x(n, 0);
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t code = 0; code < limit; ++code) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<std::uint8_t>((code >> i) & 1ULL);
+    }
+    const Verdict v = oracle(x);
+    if (!v.feasible) continue;
+    ++result.feasible_count;
+    if (!result.found || v.cost < result.best_cost) {
+      result.found = true;
+      result.best_cost = v.cost;
+      result.best_x = x;
+    }
+  }
+  return result;
+}
+
+}  // namespace saim::exact

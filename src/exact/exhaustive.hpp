@@ -1,0 +1,31 @@
+// Exhaustive minimization over {0,1}^n — the ground-truth oracle for every
+// other solver in tests and for SAIM's "reaches OPT on small instances"
+// integration checks. O(2^n * cost(oracle)); intended for n <= ~24.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace saim::exact {
+
+struct Verdict {
+  bool feasible = false;
+  double cost = 0.0;
+};
+
+using Oracle = std::function<Verdict(std::span<const std::uint8_t>)>;
+
+struct ExhaustiveResult {
+  bool found = false;  ///< at least one feasible configuration exists
+  std::vector<std::uint8_t> best_x;
+  double best_cost = 0.0;
+  std::uint64_t feasible_count = 0;  ///< size of the feasible set
+};
+
+/// Enumerates all 2^n configurations (n <= 30 enforced) and returns the
+/// feasible minimizer. Ties resolve to the lexicographically-first bitset.
+ExhaustiveResult exhaustive_minimize(std::size_t n, const Oracle& oracle);
+
+}  // namespace saim::exact

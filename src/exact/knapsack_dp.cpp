@@ -1,0 +1,55 @@
+#include "exact/knapsack_dp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saim::exact {
+
+KnapsackDpResult solve_knapsack_dp(std::span<const std::int64_t> values,
+                                   std::span<const std::int64_t> weights,
+                                   std::int64_t capacity) {
+  const std::size_t n = values.size();
+  if (weights.size() != n) {
+    throw std::invalid_argument("solve_knapsack_dp: size mismatch");
+  }
+  if (capacity < 0) {
+    throw std::invalid_argument("solve_knapsack_dp: negative capacity");
+  }
+  for (const auto w : weights) {
+    if (w < 0) throw std::invalid_argument("solve_knapsack_dp: negative weight");
+  }
+
+  const auto cap = static_cast<std::size_t>(capacity);
+  // dp[c] = best profit with capacity c over the items processed so far;
+  // taken[i*(cap+1)+c] records whether item i was taken at capacity c.
+  std::vector<std::int64_t> dp(cap + 1, 0);
+  std::vector<std::uint8_t> taken(n * (cap + 1), 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<std::size_t>(weights[i]);
+    if (w > cap) continue;
+    std::uint8_t* taken_row = taken.data() + i * (cap + 1);
+    for (std::size_t c = cap; c >= w; --c) {
+      const std::int64_t with_item = dp[c - w] + values[i];
+      if (with_item > dp[c]) {
+        dp[c] = with_item;
+        taken_row[c] = 1;
+      }
+      if (c == w) break;  // avoid size_t underflow
+    }
+  }
+
+  KnapsackDpResult result;
+  result.best_profit = dp[cap];
+  result.selection.assign(n, 0);
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (taken[i * (cap + 1) + c]) {
+      result.selection[i] = 1;
+      c -= static_cast<std::size_t>(weights[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace saim::exact

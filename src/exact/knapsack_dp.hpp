@@ -1,0 +1,26 @@
+// Exact dynamic program for the single-constraint 0/1 knapsack:
+//   max h^T x  s.t.  a^T x <= b,  x binary
+// O(n*b) time, O(n*b) bits of memory for selection recovery. Used as a
+// reference oracle in tests (it must agree with exhaustive enumeration and
+// with the MKP branch & bound on M=1 instances) and for the greedy bound
+// sanity checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace saim::exact {
+
+struct KnapsackDpResult {
+  std::int64_t best_profit = 0;
+  std::vector<std::uint8_t> selection;  ///< length n, the optimal x
+};
+
+/// values/weights must have equal length; weights and capacity nonnegative.
+/// Items heavier than the capacity are simply never selected.
+KnapsackDpResult solve_knapsack_dp(std::span<const std::int64_t> values,
+                                   std::span<const std::int64_t> weights,
+                                   std::int64_t capacity);
+
+}  // namespace saim::exact

@@ -1,0 +1,169 @@
+#include "exact/mkp_branch_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "heuristics/greedy.hpp"
+#include "util/timer.hpp"
+
+namespace saim::exact {
+
+namespace {
+
+struct SearchContext {
+  const problems::MkpInstance* instance = nullptr;
+  std::vector<std::size_t> order;        ///< items by decreasing density
+  std::vector<double> surrogate_weight;  ///< u^T a_j in `order` position
+  std::vector<std::int64_t> value;       ///< v_j in `order` position
+  double surrogate_capacity = 0.0;
+
+  BnbOptions options;
+  util::WallTimer timer;
+  std::uint64_t nodes = 0;
+  bool budget_hit = false;
+
+  std::int64_t best_profit = 0;
+  std::vector<std::uint8_t> best_x;  ///< in original item indexing
+  std::vector<std::uint8_t> current;  ///< in `order` position
+};
+
+/// Dantzig bound on the surrogate knapsack for items order[pos..]: greedy
+/// fractional fill by density. Items are pre-sorted by density, so a single
+/// forward scan suffices.
+double surrogate_bound(const SearchContext& ctx, std::size_t pos,
+                       double used_surrogate) {
+  double bound = 0.0;
+  double remaining = ctx.surrogate_capacity - used_surrogate;
+  for (std::size_t k = pos; k < ctx.order.size() && remaining > 0.0; ++k) {
+    const double w = ctx.surrogate_weight[k];
+    const auto v = static_cast<double>(ctx.value[k]);
+    if (w <= remaining) {
+      bound += v;
+      remaining -= w;
+    } else {
+      bound += v * remaining / w;
+      break;
+    }
+  }
+  return bound;
+}
+
+void dfs(SearchContext& ctx, std::size_t pos, std::int64_t profit,
+         double used_surrogate, std::vector<std::int64_t>& residual) {
+  ++ctx.nodes;
+  if ((ctx.nodes & 0xFFFF) == 0 &&
+      (ctx.nodes > ctx.options.max_nodes ||
+       ctx.timer.seconds() > ctx.options.time_limit_seconds)) {
+    ctx.budget_hit = true;
+  }
+  if (ctx.budget_hit) return;
+
+  if (profit > ctx.best_profit) {
+    ctx.best_profit = profit;
+    ctx.best_x.assign(ctx.instance->n(), 0);
+    for (std::size_t k = 0; k < pos; ++k) {
+      if (ctx.current[k]) ctx.best_x[ctx.order[k]] = 1;
+    }
+  }
+  if (pos >= ctx.order.size()) return;
+
+  const double bound = surrogate_bound(ctx, pos, used_surrogate);
+  if (static_cast<double>(profit) + bound <=
+      static_cast<double>(ctx.best_profit)) {
+    return;  // cannot beat the incumbent even in the relaxation
+  }
+
+  const std::size_t item = ctx.order[pos];
+  const std::size_t m = ctx.instance->m();
+
+  // Branch 1: take the item if it fits every knapsack.
+  bool fits = true;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (ctx.instance->weight(i, item) > residual[i]) {
+      fits = false;
+      break;
+    }
+  }
+  if (fits) {
+    for (std::size_t i = 0; i < m; ++i) {
+      residual[i] -= ctx.instance->weight(i, item);
+    }
+    ctx.current[pos] = 1;
+    dfs(ctx, pos + 1, profit + ctx.instance->value(item),
+        used_surrogate + ctx.surrogate_weight[pos], residual);
+    ctx.current[pos] = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      residual[i] += ctx.instance->weight(i, item);
+    }
+  }
+
+  // Branch 2: skip the item.
+  dfs(ctx, pos + 1, profit, used_surrogate, residual);
+}
+
+}  // namespace
+
+BnbResult solve_mkp_bnb(const problems::MkpInstance& instance,
+                        const BnbOptions& options) {
+  const std::size_t n = instance.n();
+  const std::size_t m = instance.m();
+
+  SearchContext ctx;
+  ctx.instance = &instance;
+  ctx.options = options;
+
+  // Surrogate multipliers u_i = 1/B_i (guard B_i = 0).
+  std::vector<double> u(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    u[i] = instance.capacity(i) > 0
+               ? 1.0 / static_cast<double>(instance.capacity(i))
+               : 1.0;
+    ctx.surrogate_capacity += u[i] * static_cast<double>(instance.capacity(i));
+  }
+
+  std::vector<double> density(n);
+  std::vector<double> raw_surrogate(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double w = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      w += u[i] * static_cast<double>(instance.weight(i, j));
+    }
+    raw_surrogate[j] = w;
+    density[j] = w > 0.0 ? static_cast<double>(instance.value(j)) / w
+                         : static_cast<double>(instance.value(j));
+  }
+
+  ctx.order.resize(n);
+  std::iota(ctx.order.begin(), ctx.order.end(), 0u);
+  std::sort(ctx.order.begin(), ctx.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (density[a] != density[b]) return density[a] > density[b];
+              return a < b;
+            });
+  ctx.surrogate_weight.resize(n);
+  ctx.value.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ctx.surrogate_weight[k] = raw_surrogate[ctx.order[k]];
+    ctx.value[k] = instance.value(ctx.order[k]);
+  }
+  ctx.current.assign(n, 0);
+
+  // Warm start with the greedy solution so early pruning has teeth.
+  const auto greedy = heuristics::greedy_mkp(instance);
+  ctx.best_profit = instance.profit(greedy);
+  ctx.best_x = greedy;
+
+  std::vector<std::int64_t> residual(instance.capacities().begin(),
+                                     instance.capacities().end());
+  dfs(ctx, 0, 0, 0.0, residual);
+
+  BnbResult result;
+  result.best_x = std::move(ctx.best_x);
+  result.best_profit = ctx.best_profit;
+  result.proven_optimal = !ctx.budget_hit;
+  result.nodes = ctx.nodes;
+  result.seconds = ctx.timer.seconds();
+  return result;
+}
+
+}  // namespace saim::exact

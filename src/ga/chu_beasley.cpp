@@ -1,0 +1,126 @@
+#include "ga/chu_beasley.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "heuristics/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace saim::ga {
+
+namespace {
+
+/// FNV-1a over the bitset — cheap duplicate detection key.
+std::uint64_t hash_bits(const std::vector<std::uint8_t>& x) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto b : x) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+GaResult solve_mkp_ga(const problems::MkpInstance& instance,
+                      const GaOptions& options) {
+  if (options.population < 2) {
+    throw std::invalid_argument("solve_mkp_ga: population must be >= 2");
+  }
+  const std::size_t n = instance.n();
+  util::Xoshiro256pp rng(options.seed);
+
+  // Initial population: random bitsets repaired to feasibility (plus the
+  // greedy solution, which Chu & Beasley also seed implicitly via repair).
+  std::vector<std::vector<std::uint8_t>> population;
+  std::vector<std::int64_t> fitness;
+  population.reserve(options.population);
+  fitness.reserve(options.population);
+  std::unordered_set<std::uint64_t> seen;
+
+  auto push_individual = [&](std::vector<std::uint8_t> x) {
+    const std::uint64_t key = hash_bits(x);
+    if (!seen.insert(key).second) return false;
+    fitness.push_back(instance.profit(x));
+    population.push_back(std::move(x));
+    return true;
+  };
+
+  push_individual(heuristics::greedy_mkp(instance));
+  std::uint64_t salt = 0;
+  while (population.size() < options.population) {
+    std::vector<std::uint8_t> x(n);
+    for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+    heuristics::repair_mkp(instance, x);
+    if (!push_individual(std::move(x)) && ++salt > 50 * options.population) {
+      break;  // tiny instances may not have `population` distinct members
+    }
+  }
+
+  auto tournament_pick = [&]() -> std::size_t {
+    std::size_t best = rng.below(population.size());
+    for (std::size_t t = 1; t < options.tournament; ++t) {
+      const std::size_t c = rng.below(population.size());
+      if (fitness[c] > fitness[best]) best = c;
+    }
+    return best;
+  };
+
+  GaResult result;
+  {
+    const auto it = std::max_element(fitness.begin(), fitness.end());
+    const auto idx =
+        static_cast<std::size_t>(std::distance(fitness.begin(), it));
+    result.best_profit = fitness[idx];
+    result.best_x = population[idx];
+  }
+
+  std::size_t accepted = 0;
+  std::size_t generated = 0;
+  // Children budget counts *accepted* (non-duplicate) offspring, matching
+  // Chu & Beasley's "10^6 non-duplicate children" accounting; `generated`
+  // caps runaway duplicate loops on saturated populations.
+  while (accepted < options.children &&
+         generated < 20 * options.children + 1000) {
+    ++generated;
+    const auto& a = population[tournament_pick()];
+    const auto& b = population[tournament_pick()];
+
+    std::vector<std::uint8_t> child(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      child[j] = rng.bernoulli(0.5) ? a[j] : b[j];
+    }
+    for (std::size_t t = 0; t < options.mutate_bits && n > 0; ++t) {
+      const std::size_t j = rng.below(n);
+      child[j] ^= 1u;
+    }
+    heuristics::repair_mkp(instance, child);
+
+    const std::uint64_t key = hash_bits(child);
+    if (!seen.insert(key).second) continue;  // duplicate: discard
+    ++accepted;
+
+    const std::int64_t profit = instance.profit(child);
+    // Steady-state replacement of the current worst member.
+    const auto worst_it = std::min_element(fitness.begin(), fitness.end());
+    const auto worst =
+        static_cast<std::size_t>(std::distance(fitness.begin(), worst_it));
+    seen.erase(hash_bits(population[worst]));
+    population[worst] = std::move(child);
+    fitness[worst] = profit;
+
+    if (profit > result.best_profit) {
+      result.best_profit = profit;
+      result.best_x = population[worst];
+    }
+    if (options.history_stride != 0 &&
+        accepted % options.history_stride == 0) {
+      result.history.push_back(result.best_profit);
+    }
+  }
+  result.children_generated = generated;
+  return result;
+}
+
+}  // namespace saim::ga

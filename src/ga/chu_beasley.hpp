@@ -1,0 +1,38 @@
+// Chu & Beasley's genetic algorithm for the MKP (Journal of Heuristics,
+// 1998) — the baseline of the paper's Table V ("GA [28]").
+//
+// Faithful structure: steady-state GA, binary tournament selection, uniform
+// crossover, low-rate bit-flip mutation, and the signature repair operator
+// (drop/add by pseudo-utility density) that keeps every individual feasible.
+// A child that duplicates an existing population member is discarded, and
+// each accepted child replaces the current worst individual.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "problems/mkp.hpp"
+
+namespace saim::ga {
+
+struct GaOptions {
+  std::size_t population = 100;      ///< Chu–Beasley use 100
+  std::size_t children = 100'000;    ///< non-duplicate offspring budget
+  std::size_t tournament = 2;        ///< binary tournament
+  std::size_t mutate_bits = 2;       ///< bits flipped per child (CB use 2)
+  std::uint64_t seed = 1;
+  /// Record the incumbent profit every `history_stride` children (0 = off).
+  std::size_t history_stride = 0;
+};
+
+struct GaResult {
+  std::vector<std::uint8_t> best_x;
+  std::int64_t best_profit = 0;
+  std::size_t children_generated = 0;  ///< includes discarded duplicates
+  std::vector<std::int64_t> history;   ///< incumbent trace (optional)
+};
+
+GaResult solve_mkp_ga(const problems::MkpInstance& instance,
+                      const GaOptions& options = {});
+
+}  // namespace saim::ga

@@ -1,0 +1,147 @@
+#include "heuristics/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace saim::heuristics {
+
+std::vector<double> mkp_densities(const problems::MkpInstance& instance) {
+  const std::size_t n = instance.n();
+  const std::size_t m = instance.m();
+  std::vector<double> density(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double w = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double cap = instance.capacity(i) > 0
+                             ? static_cast<double>(instance.capacity(i))
+                             : 1.0;
+      w += static_cast<double>(instance.weight(i, j)) / cap;
+    }
+    density[j] = w > 0.0 ? static_cast<double>(instance.value(j)) / w
+                         : static_cast<double>(instance.value(j));
+  }
+  return density;
+}
+
+namespace {
+
+/// Item order by decreasing density, ties by index for determinism.
+std::vector<std::size_t> density_order(const std::vector<double>& density) {
+  std::vector<std::size_t> order(density.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (density[a] != density[b]) return density[a] > density[b];
+    return a < b;
+  });
+  return order;
+}
+
+bool mkp_fits(const problems::MkpInstance& instance,
+              const std::vector<std::int64_t>& residual, std::size_t j) {
+  for (std::size_t i = 0; i < instance.m(); ++i) {
+    if (instance.weight(i, j) > residual[i]) return false;
+  }
+  return true;
+}
+
+void mkp_apply(const problems::MkpInstance& instance,
+               std::vector<std::int64_t>& residual, std::size_t j,
+               std::int64_t sign) {
+  for (std::size_t i = 0; i < instance.m(); ++i) {
+    residual[i] -= sign * instance.weight(i, j);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> greedy_mkp(const problems::MkpInstance& instance) {
+  const auto density = mkp_densities(instance);
+  const auto order = density_order(density);
+
+  std::vector<std::uint8_t> x(instance.n(), 0);
+  std::vector<std::int64_t> residual(instance.capacities().begin(),
+                                     instance.capacities().end());
+  for (const auto j : order) {
+    if (mkp_fits(instance, residual, j)) {
+      x[j] = 1;
+      mkp_apply(instance, residual, j, 1);
+    }
+  }
+  return x;
+}
+
+void repair_mkp(const problems::MkpInstance& instance,
+                std::vector<std::uint8_t>& x) {
+  const auto density = mkp_densities(instance);
+  const auto order = density_order(density);
+
+  std::vector<std::int64_t> load(instance.m(), 0);
+  for (std::size_t i = 0; i < instance.m(); ++i) {
+    load[i] = instance.load(i, x);
+  }
+
+  // DROP phase: remove the worst-density selected items until feasible.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    bool feasible = true;
+    for (std::size_t i = 0; i < instance.m(); ++i) {
+      if (load[i] > instance.capacity(i)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) break;
+    const std::size_t j = *it;
+    if (x[j]) {
+      x[j] = 0;
+      for (std::size_t i = 0; i < instance.m(); ++i) {
+        load[i] -= instance.weight(i, j);
+      }
+    }
+  }
+
+  // ADD phase: greedily insert unselected items that still fit.
+  std::vector<std::int64_t> residual(instance.m());
+  for (std::size_t i = 0; i < instance.m(); ++i) {
+    residual[i] = instance.capacity(i) - load[i];
+  }
+  for (const auto j : order) {
+    if (!x[j] && mkp_fits(instance, residual, j)) {
+      x[j] = 1;
+      mkp_apply(instance, residual, j, 1);
+    }
+  }
+}
+
+std::vector<std::uint8_t> greedy_qkp(const problems::QkpInstance& instance) {
+  const std::size_t n = instance.n();
+  std::vector<std::uint8_t> x(n, 0);
+  std::int64_t residual = instance.capacity();
+
+  // Marginal gain of adding j given current selection: value_j plus pair
+  // values with already-selected items. Re-scanned each step (O(n^2) total
+  // per added item) — fine at these sizes and keeps the logic transparent.
+  while (true) {
+    std::size_t best = n;
+    double best_ratio = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x[j] || instance.weight(j) > residual) continue;
+      std::int64_t gain = instance.value(j);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (x[k]) gain += instance.pair_value(j, k);
+      }
+      const double ratio = static_cast<double>(gain) /
+                           static_cast<double>(std::max<std::int64_t>(
+                               1, instance.weight(j)));
+      if (best == n || ratio > best_ratio) {
+        best = j;
+        best_ratio = ratio;
+      }
+    }
+    if (best == n || best_ratio <= 0.0) break;
+    x[best] = 1;
+    residual -= instance.weight(best);
+  }
+  return x;
+}
+
+}  // namespace saim::heuristics

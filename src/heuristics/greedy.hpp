@@ -1,0 +1,36 @@
+// Greedy constructors and the drop/add repair operator.
+//
+// * greedy_mkp: fills by pseudo-utility density v_j / sum_i a_ij/B_i — the
+//   classical surrogate ratio, also used to warm-start the B&B and to
+//   repair GA offspring (Chu & Beasley's repair heuristic).
+// * greedy_qkp: iterative marginal-profit-per-weight insertion; the QKP
+//   objective is quadratic so each step re-evaluates marginal gains against
+//   the current selection.
+// * repair_mkp: DROP items (worst density first) until feasible, then ADD
+//   items (best density first) while they fit. Guarantees feasibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+
+namespace saim::heuristics {
+
+/// Feasible-by-construction greedy MKP selection.
+std::vector<std::uint8_t> greedy_mkp(const problems::MkpInstance& instance);
+
+/// Feasible-by-construction greedy QKP selection.
+std::vector<std::uint8_t> greedy_qkp(const problems::QkpInstance& instance);
+
+/// Pseudo-utility densities v_j / sum_i (a_ij / B_i), shared by greedy,
+/// repair and the GA.
+std::vector<double> mkp_densities(const problems::MkpInstance& instance);
+
+/// In-place Chu–Beasley repair: after this call `x` is feasible, and no
+/// item can be added without violating a constraint (maximal selection).
+void repair_mkp(const problems::MkpInstance& instance,
+                std::vector<std::uint8_t>& x);
+
+}  // namespace saim::heuristics

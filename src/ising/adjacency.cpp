@@ -1,0 +1,30 @@
+#include "ising/adjacency.hpp"
+
+namespace saim::ising {
+
+Adjacency::Adjacency(const IsingModel& model) : n_(model.n()) {
+  std::vector<std::size_t> degree(n_, 0);
+  model.for_each_coupling([&](std::size_t i, std::size_t j, double) {
+    ++degree[i];
+    ++degree[j];
+  });
+
+  offsets_.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    offsets_[i + 1] = offsets_[i] + degree[i];
+  }
+  indices_.resize(offsets_[n_]);
+  weights_.resize(offsets_[n_]);
+
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  model.for_each_coupling([&](std::size_t i, std::size_t j, double v) {
+    indices_[cursor[i]] = static_cast<std::uint32_t>(j);
+    weights_[cursor[i]] = v;
+    ++cursor[i];
+    indices_[cursor[j]] = static_cast<std::uint32_t>(i);
+    weights_[cursor[j]] = v;
+    ++cursor[j];
+  });
+}
+
+}  // namespace saim::ising

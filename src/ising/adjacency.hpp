@@ -1,0 +1,60 @@
+// Compressed-sparse-row view of an Ising coupling matrix.
+//
+// The dense IsingModel rows make model construction simple, but Monte-Carlo
+// sweeps only need each spin's nonzero neighbours. For the paper's QKP
+// instances with density 0.25-0.5 a CSR scan does 2-4x less memory traffic
+// per sweep. The CSR is built once per SAIM run: lambda updates change only
+// the fields h (see ising/convert.hpp), never the couplings, so the
+// adjacency stays valid across all K outer iterations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ising/ising_model.hpp"
+
+namespace saim::ising {
+
+class Adjacency {
+ public:
+  Adjacency() = default;
+
+  /// Builds CSR from the model's nonzero couplings (both directions stored).
+  explicit Adjacency(const IsingModel& model);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return weights_.size() / 2;
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::size_t i) const noexcept {
+    return {indices_.data() + offsets_[i],
+            offsets_[i + 1] - offsets_[i]};
+  }
+  [[nodiscard]] std::span<const double> weights(std::size_t i) const noexcept {
+    return {weights_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  /// Coupling contribution sum_j J_ij m_j for spin i. O(deg(i)).
+  [[nodiscard]] double coupling_input(std::span<const std::int8_t> m,
+                                      std::size_t i) const noexcept {
+    const auto nbr = neighbors(i);
+    const auto w = weights(i);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < nbr.size(); ++k) {
+      acc += w[k] * static_cast<double>(m[nbr[k]]);
+    }
+    return acc;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> offsets_;    ///< n+1 entries
+  std::vector<std::uint32_t> indices_;  ///< neighbour spin ids
+  std::vector<double> weights_;         ///< matching J_ij values
+};
+
+}  // namespace saim::ising

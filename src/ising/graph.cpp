@@ -1,0 +1,115 @@
+#include "ising/graph.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saim::ising {
+
+Graph::Graph(std::size_t num_vertices) : n_(num_vertices) {}
+
+void Graph::add_edge(std::size_t u, std::size_t v, double weight) {
+  if (u >= n_ || v >= n_) {
+    throw std::out_of_range("Graph::add_edge: vertex out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("Graph::add_edge: self-loops not allowed");
+  }
+  edges_.push_back(Edge{static_cast<std::uint32_t>(u),
+                        static_cast<std::uint32_t>(v), weight});
+}
+
+double Graph::total_weight() const noexcept {
+  double acc = 0.0;
+  for (const auto& e : edges_) acc += e.weight;
+  return acc;
+}
+
+double Graph::weighted_degree(std::size_t v) const {
+  if (v >= n_) {
+    throw std::out_of_range("Graph::weighted_degree: vertex out of range");
+  }
+  double acc = 0.0;
+  for (const auto& e : edges_) {
+    if (e.u == v || e.v == v) acc += e.weight;
+  }
+  return acc;
+}
+
+double Graph::cut_value(std::span<const std::int8_t> side) const {
+  if (side.size() != n_) {
+    throw std::invalid_argument("Graph::cut_value: partition size mismatch");
+  }
+  double cut = 0.0;
+  for (const auto& e : edges_) {
+    if (side[e.u] != side[e.v]) cut += e.weight;
+  }
+  return cut;
+}
+
+Graph Graph::load(std::istream& is) {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  if (!(is >> n >> m)) {
+    throw std::runtime_error("Graph::load: bad header");
+  }
+  Graph g(n);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t u = 0;
+    std::size_t v = 0;
+    double w = 0.0;
+    if (!(is >> u >> v >> w)) {
+      throw std::runtime_error("Graph::load: truncated edge list");
+    }
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+void Graph::save(std::ostream& os) const {
+  os << n_ << ' ' << edges_.size() << '\n';
+  for (const auto& e : edges_) {
+    os << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+}
+
+Graph random_gnp_graph(std::size_t n, double p, std::uint64_t seed,
+                       double weight_lo, double weight_hi) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("random_gnp_graph: p must be in [0,1]");
+  }
+  if (weight_hi < weight_lo) {
+    throw std::invalid_argument("random_gnp_graph: bad weight range");
+  }
+  util::Xoshiro256pp rng(seed);
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.uniform01() < p) {
+        const double w =
+            weight_lo + (weight_hi - weight_lo) * rng.uniform01();
+        g.add_edge(u, v, w);
+      }
+    }
+  }
+  return g;
+}
+
+Graph torus_grid_graph(std::size_t rows, std::size_t cols) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("torus_grid_graph: need at least 2x2");
+  }
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+}  // namespace saim::ising

@@ -1,0 +1,63 @@
+// Lightweight undirected weighted graph, the input format for the max-cut
+// workload (the paper's introductory example of what Ising machines solve
+// natively: "minimizing (1) is equivalent to the NP-hard problem of
+// maximizing the cut of a graph ... weighted by W_ij = -J_ij").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace saim::ising {
+
+struct Edge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  double weight = 1.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_vertices);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept {
+    return edges_;
+  }
+
+  /// Adds an undirected edge u-v (u != v, both < n). Parallel edges are
+  /// allowed and behave additively for cut purposes.
+  void add_edge(std::size_t u, std::size_t v, double weight = 1.0);
+
+  [[nodiscard]] double total_weight() const noexcept;
+
+  /// Sum of degrees of vertex v over incident edge weights.
+  [[nodiscard]] double weighted_degree(std::size_t v) const;
+
+  /// Cut value of a ±1 partition: sum of weights of edges whose endpoints
+  /// lie on opposite sides.
+  [[nodiscard]] double cut_value(std::span<const std::int8_t> side) const;
+
+  /// Plain-text serialization: "n m" header then "u v w" lines.
+  static Graph load(std::istream& is);
+  void save(std::ostream& os) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Edge> edges_;
+};
+
+/// Erdos–Renyi G(n, p) with weights U[lo, hi]; deterministic per seed.
+Graph random_gnp_graph(std::size_t n, double p, std::uint64_t seed,
+                       double weight_lo = 1.0, double weight_hi = 1.0);
+
+/// 2-D torus grid graph (every vertex degree 4), unit weights — a standard
+/// structured max-cut benchmark topology.
+Graph torus_grid_graph(std::size_t rows, std::size_t cols);
+
+}  // namespace saim::ising

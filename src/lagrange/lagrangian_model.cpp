@@ -1,0 +1,110 @@
+#include "lagrange/lagrangian_model.hpp"
+
+#include <stdexcept>
+
+#include "ising/convert.hpp"
+
+namespace saim::lagrange {
+
+LagrangianModel::LagrangianModel(const problems::ConstrainedProblem& problem,
+                                 double penalty)
+    : problem_(&problem),
+      penalty_(penalty),
+      lambda_(problem.num_constraints(), 0.0),
+      qubo_(problem.n()) {
+  if (penalty_ < 0.0) {
+    throw std::invalid_argument("LagrangianModel: penalty must be >= 0");
+  }
+
+  // f part.
+  const auto& f = problem.objective();
+  f.for_each_quadratic([&](std::size_t i, std::size_t j, double q) {
+    qubo_.add_quadratic(i, j, q);
+  });
+  for (std::size_t i = 0; i < qubo_.n(); ++i) {
+    const double q = f.linear(i);
+    if (q != 0.0) qubo_.add_linear(i, q);
+  }
+  qubo_.add_offset(f.offset());
+
+  // P * ||g||^2 part: for g_m = a.x - b,
+  //   g_m^2 = sum_j a_j^2 x_j + 2 sum_{j<k} a_j a_k x_j x_k
+  //           - 2 b sum_j a_j x_j + b^2         (x_j^2 == x_j).
+  for (const auto& row : problem.constraints()) {
+    for (std::size_t u = 0; u < row.terms.size(); ++u) {
+      const auto [j, aj] = row.terms[u];
+      qubo_.add_linear(j, penalty_ * aj * (aj - 2.0 * row.rhs));
+      for (std::size_t v = u + 1; v < row.terms.size(); ++v) {
+        const auto [k, ak] = row.terms[v];
+        qubo_.add_quadratic(j, k, 2.0 * penalty_ * aj * ak);
+      }
+    }
+    qubo_.add_offset(penalty_ * row.rhs * row.rhs);
+  }
+
+  base_linear_.assign(qubo_.linear_terms().begin(),
+                      qubo_.linear_terms().end());
+  base_offset_ = qubo_.offset();
+
+  // Ising image + cached quantities for O(n) field refresh: with couplings
+  // fixed, h_i = -(q_i/2 + row_sum_i/4) depends on q_i only.
+  ising_ = ising::qubo_to_ising(qubo_);
+  ising_row_sum_.assign(qubo_.n(), 0.0);
+  ising_quad_offset_ = 0.0;
+  qubo_.for_each_quadratic([&](std::size_t i, std::size_t j, double q) {
+    ising_row_sum_[i] += q;
+    ising_row_sum_[j] += q;
+    ising_quad_offset_ += q / 4.0;
+  });
+}
+
+void LagrangianModel::set_lambda(std::span<const double> lambda) {
+  if (lambda.size() != lambda_.size()) {
+    throw std::invalid_argument("LagrangianModel::set_lambda: size mismatch");
+  }
+  lambda_.assign(lambda.begin(), lambda.end());
+  rebuild_linear();
+}
+
+void LagrangianModel::rebuild_linear() {
+  // q = base_q + sum_m lambda_m a_m ;  c = base_c - sum_m lambda_m b_m.
+  auto q = qubo_.mutable_linear_terms();
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = base_linear_[i];
+  double offset = base_offset_;
+  const auto& constraints = problem_->constraints();
+  for (std::size_t m = 0; m < constraints.size(); ++m) {
+    const double lm = lambda_[m];
+    if (lm == 0.0) continue;
+    for (const auto& [j, aj] : constraints[m].terms) {
+      q[j] += lm * aj;
+    }
+    offset -= lm * constraints[m].rhs;
+  }
+  qubo_.set_offset(offset);
+
+  // Refresh Ising fields/offset in place (couplings and row sums fixed).
+  double ising_offset = offset + ising_quad_offset_;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    ising_.set_field(i, -(q[i] / 2.0 + ising_row_sum_[i] / 4.0));
+    ising_offset += q[i] / 2.0;
+  }
+  ising_.set_offset(ising_offset);
+}
+
+double LagrangianModel::lagrangian(std::span<const std::uint8_t> x) const {
+  double acc = problem_->objective_value(x);
+  const auto& constraints = problem_->constraints();
+  for (std::size_t m = 0; m < constraints.size(); ++m) {
+    const double g = constraints[m].eval(x);
+    acc += penalty_ * g * g + lambda_[m] * g;
+  }
+  return acc;
+}
+
+double heuristic_penalty(const problems::ConstrainedProblem& problem,
+                         double alpha) {
+  return alpha * problem.density_for_penalty() *
+         static_cast<double>(problem.n());
+}
+
+}  // namespace saim::lagrange

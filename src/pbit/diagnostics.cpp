@@ -1,0 +1,70 @@
+#include "pbit/diagnostics.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace saim::pbit {
+
+double magnetization(std::span<const std::int8_t> m) noexcept {
+  if (m.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto s : m) acc += static_cast<double>(s);
+  return acc / static_cast<double>(m.size());
+}
+
+double autocorrelation(std::span<const double> series, std::size_t lag) {
+  const std::size_t n = series.size();
+  if (lag >= n) return 0.0;
+  double mean = 0.0;
+  for (const double v : series) mean += v;
+  mean /= static_cast<double>(n);
+
+  double var = 0.0;
+  for (const double v : series) var += (v - mean) * (v - mean);
+  if (var <= 0.0) return 0.0;
+
+  double acc = 0.0;
+  for (std::size_t t = 0; t + lag < n; ++t) {
+    acc += (series[t] - mean) * (series[t + lag] - mean);
+  }
+  return acc / var;
+}
+
+double integrated_autocorrelation_time(std::span<const double> series) {
+  if (series.size() < 2) return 1.0;
+  double tau = 1.0;
+  const std::size_t max_lag = series.size() / 2;
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    const double rho = autocorrelation(series, lag);
+    tau += 2.0 * rho;
+    // Self-consistent window (Sokal): stop once lag exceeds 5*tau; also
+    // stop at the first clearly-negative correlation (noise floor).
+    if (static_cast<double>(lag) > 5.0 * tau || rho < -0.05) break;
+  }
+  return std::max(tau, 1.0);
+}
+
+EquilibrationReport diagnose_equilibration(const PBitMachine& machine,
+                                           const ising::IsingModel& model,
+                                           double beta, std::size_t burn_in,
+                                           std::size_t samples,
+                                           util::Xoshiro256pp& rng) {
+  EquilibrationReport report;
+  report.energy_trace.reserve(samples);
+  util::RunningStats energy_stats;
+  util::RunningStats mag_stats;
+  machine.sample(beta, burn_in, samples, rng,
+                 [&](const ising::Spins& m) {
+                   const double e = model.energy(m);
+                   report.energy_trace.push_back(e);
+                   energy_stats.add(e);
+                   mag_stats.add(std::abs(magnetization(m)));
+                 });
+  report.mean_energy = energy_stats.mean();
+  report.mean_abs_magnetization = mag_stats.mean();
+  report.tau = integrated_autocorrelation_time(report.energy_trace);
+  return report;
+}
+
+}  // namespace saim::pbit

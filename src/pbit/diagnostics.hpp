@@ -1,0 +1,46 @@
+// Sampler diagnostics: quantities the Ising-machine literature uses to
+// judge whether a Gibbs/Metropolis chain is actually equilibrating at the
+// temperatures the schedule visits — average magnetization, energy traces,
+// and the integrated autocorrelation time of the energy, which bounds the
+// effective sample size of a run. Used by tests (the Boltzmann chi-square
+// suites need equilibrated chains) and by users tuning beta_max/MCS.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ising/ising_model.hpp"
+#include "pbit/pbit_machine.hpp"
+#include "util/rng.hpp"
+
+namespace saim::pbit {
+
+/// Mean spin value over a configuration, in [-1, 1].
+double magnetization(std::span<const std::int8_t> m) noexcept;
+
+/// Normalized autocorrelation rho(lag) of a scalar series (rho(0) = 1).
+/// Returns 0 for lags >= series length or when the series has no variance.
+double autocorrelation(std::span<const double> series, std::size_t lag);
+
+/// Integrated autocorrelation time tau = 1 + 2 sum_{k>=1} rho(k), with the
+/// standard self-consistent window cutoff (sum until k > c*tau, c = 5).
+/// tau ~ 1 means independent samples; large tau means slow mixing.
+double integrated_autocorrelation_time(std::span<const double> series);
+
+struct EquilibrationReport {
+  std::vector<double> energy_trace;  ///< energy after each recorded sweep
+  double mean_energy = 0.0;
+  double tau = 0.0;  ///< integrated autocorrelation time of the energy
+  double mean_abs_magnetization = 0.0;
+};
+
+/// Runs the machine at fixed beta and records an energy trace after
+/// burn-in; reports mixing statistics.
+EquilibrationReport diagnose_equilibration(const PBitMachine& machine,
+                                           const ising::IsingModel& model,
+                                           double beta, std::size_t burn_in,
+                                           std::size_t samples,
+                                           util::Xoshiro256pp& rng);
+
+}  // namespace saim::pbit

@@ -1,0 +1,114 @@
+#include "pbit/pbit_machine.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace saim::pbit {
+
+PBitMachine::PBitMachine(const ising::IsingModel& model)
+    : model_(&model), adjacency_(model) {}
+
+ising::Spins PBitMachine::random_state(util::Xoshiro256pp& rng) const {
+  ising::Spins m(n());
+  for (auto& s : m) {
+    s = rng.bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return m;
+}
+
+double PBitMachine::sweep(ising::Spins& m, double beta, SweepOrder order,
+                          util::Xoshiro256pp& rng,
+                          std::vector<std::uint32_t>& scratch) const {
+  const std::size_t size = n();
+  double delta_energy = 0.0;
+
+  auto update_one = [&](std::size_t i) {
+    const double in = input(m, i);
+    // m_i = sign(tanh(beta*I_i) + U(-1,1)): +1 with prob (1+tanh)/2.
+    const double activation = std::tanh(beta * in);
+    const std::int8_t next =
+        (activation + rng.uniform_sym()) >= 0.0 ? std::int8_t{1}
+                                                : std::int8_t{-1};
+    if (next != m[i]) {
+      // H contains -m_i I_i; flipping m_i -> -m_i changes H by 2 m_i I_i.
+      delta_energy += 2.0 * static_cast<double>(m[i]) * in;
+      m[i] = next;
+    }
+  };
+
+  switch (order) {
+    case SweepOrder::kSequential:
+      for (std::size_t i = 0; i < size; ++i) update_one(i);
+      break;
+    case SweepOrder::kRandomPermutation: {
+      scratch.resize(size);
+      std::iota(scratch.begin(), scratch.end(), 0u);
+      // Fisher-Yates with the solver's own RNG for determinism.
+      for (std::size_t i = size; i > 1; --i) {
+        const std::size_t j = rng.below(i);
+        std::swap(scratch[i - 1], scratch[j]);
+      }
+      for (const auto i : scratch) update_one(i);
+      break;
+    }
+    case SweepOrder::kRandomUniform:
+      for (std::size_t k = 0; k < size; ++k) update_one(rng.below(size));
+      break;
+  }
+  return delta_energy;
+}
+
+AnnealResult PBitMachine::anneal(const Schedule& schedule,
+                                 const AnnealOptions& options,
+                                 util::Xoshiro256pp& rng) const {
+  return anneal_from(random_state(rng), schedule, options, rng);
+}
+
+AnnealResult PBitMachine::anneal_from(ising::Spins start,
+                                      const Schedule& schedule,
+                                      const AnnealOptions& options,
+                                      util::Xoshiro256pp& rng) const {
+  AnnealResult result;
+  result.last = std::move(start);
+  result.sweeps = options.sweeps;
+
+  double energy = model_->energy(result.last);
+  if (options.track_best) {
+    result.best = result.last;
+    result.best_energy = energy;
+  }
+
+  std::vector<std::uint32_t> scratch;
+  for (std::size_t t = 0; t < options.sweeps; ++t) {
+    const double beta = schedule.beta(t, options.sweeps);
+    energy += sweep(result.last, beta, options.order, rng, scratch);
+    if (options.track_best && energy < result.best_energy) {
+      result.best_energy = energy;
+      result.best = result.last;
+    }
+  }
+  result.last_energy = energy;
+  if (!options.track_best) {
+    result.best = result.last;
+    result.best_energy = energy;
+  }
+  return result;
+}
+
+void PBitMachine::sample(
+    double beta, std::size_t burn_in, std::size_t samples,
+    util::Xoshiro256pp& rng,
+    const std::function<void(const ising::Spins&)>& observer) const {
+  ising::Spins m = random_state(rng);
+  std::vector<std::uint32_t> scratch;
+  for (std::size_t t = 0; t < burn_in; ++t) {
+    sweep(m, beta, SweepOrder::kSequential, rng, scratch);
+  }
+  for (std::size_t t = 0; t < samples; ++t) {
+    sweep(m, beta, SweepOrder::kSequential, rng, scratch);
+    observer(m);
+  }
+}
+
+}  // namespace saim::pbit

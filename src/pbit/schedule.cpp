@@ -1,0 +1,49 @@
+#include "pbit/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace saim::pbit {
+
+Schedule::Schedule(Kind kind, double beta_start, double beta_end)
+    : kind_(kind), beta_start_(beta_start), beta_end_(beta_end) {}
+
+Schedule Schedule::linear(double beta_end, double beta_start) {
+  if (beta_end < beta_start) {
+    throw std::invalid_argument("Schedule::linear: beta_end < beta_start");
+  }
+  return {Kind::kLinear, beta_start, beta_end};
+}
+
+Schedule Schedule::geometric(double beta_start, double beta_end) {
+  if (beta_start <= 0.0 || beta_end < beta_start) {
+    throw std::invalid_argument(
+        "Schedule::geometric: requires 0 < beta_start <= beta_end");
+  }
+  return {Kind::kGeometric, beta_start, beta_end};
+}
+
+Schedule Schedule::constant(double beta) {
+  if (beta < 0.0) {
+    throw std::invalid_argument("Schedule::constant: beta must be >= 0");
+  }
+  return {Kind::kConstant, beta, beta};
+}
+
+double Schedule::beta(std::size_t t, std::size_t total) const {
+  if (kind_ == Kind::kConstant || total <= 1) return beta_end_;
+  const double frac = static_cast<double>(std::min(t, total - 1)) /
+                      static_cast<double>(total - 1);
+  switch (kind_) {
+    case Kind::kLinear:
+      return beta_start_ + (beta_end_ - beta_start_) * frac;
+    case Kind::kGeometric:
+      return beta_start_ * std::pow(beta_end_ / beta_start_, frac);
+    case Kind::kConstant:
+      break;
+  }
+  return beta_end_;
+}
+
+}  // namespace saim::pbit

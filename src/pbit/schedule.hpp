@@ -1,0 +1,43 @@
+// Inverse-temperature (beta) schedules for annealed Gibbs sampling.
+//
+// The paper anneals the p-bits "with a linear beta-schedule swept from 0 to
+// beta_max" (section III-B); geometric and constant schedules are provided
+// for the ablation benches (bench/ablation_saim) and for the Boltzmann
+// distribution tests, which need a fixed temperature.
+#pragma once
+
+#include <cstddef>
+
+namespace saim::pbit {
+
+class Schedule {
+ public:
+  enum class Kind { kLinear, kGeometric, kConstant };
+
+  /// Linear ramp beta(t) = beta_start + (beta_end-beta_start) * t/(T-1).
+  static Schedule linear(double beta_end, double beta_start = 0.0);
+
+  /// Geometric ramp beta(t) = beta_start * (beta_end/beta_start)^(t/(T-1)).
+  /// Requires 0 < beta_start <= beta_end.
+  static Schedule geometric(double beta_start, double beta_end);
+
+  /// Fixed temperature (equilibrium sampling).
+  static Schedule constant(double beta);
+
+  /// Inverse temperature at sweep t of a run with `total` sweeps.
+  /// t is clamped to [0, total-1]; total == 1 yields beta_end.
+  [[nodiscard]] double beta(std::size_t t, std::size_t total) const;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] double beta_start() const noexcept { return beta_start_; }
+  [[nodiscard]] double beta_end() const noexcept { return beta_end_; }
+
+ private:
+  Schedule(Kind kind, double beta_start, double beta_end);
+
+  Kind kind_;
+  double beta_start_;
+  double beta_end_;
+};
+
+}  // namespace saim::pbit

@@ -1,0 +1,91 @@
+#include "problems/maxcut.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saim::problems {
+
+ising::IsingModel maxcut_to_ising(const ising::Graph& graph) {
+  // cut(m) = sum_e w_e (1 - m_u m_v)/2 = W/2 - (1/2) sum_e w_e m_u m_v.
+  // Want H(m) = -cut(m) = -W/2 + (1/2) sum_e w_e m_u m_v.
+  // H = -sum J_ij m_i m_j + offset  =>  J_uv = -w_uv/2, offset = -W/2.
+  ising::IsingModel model(graph.num_vertices());
+  for (const auto& e : graph.edges()) {
+    model.add_coupling(e.u, e.v, -e.weight / 2.0);
+  }
+  model.add_offset(-graph.total_weight() / 2.0);
+  return model;
+}
+
+double maxcut_local_search(const ising::Graph& graph,
+                           std::vector<std::int8_t>& side,
+                           std::size_t max_passes) {
+  const std::size_t n = graph.num_vertices();
+  if (side.size() != n) {
+    throw std::invalid_argument("maxcut_local_search: partition size");
+  }
+  // Gain of moving v = (same-side incident weight) - (cut incident weight);
+  // recomputed per pass — O(passes * m), plenty fast at library scale.
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    std::vector<double> gain(n, 0.0);
+    for (const auto& e : graph.edges()) {
+      if (side[e.u] == side[e.v]) {
+        gain[e.u] += e.weight;
+        gain[e.v] += e.weight;
+      } else {
+        gain[e.u] -= e.weight;
+        gain[e.v] -= e.weight;
+      }
+    }
+    bool moved = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (gain[v] > 0.0) {
+        side[v] = static_cast<std::int8_t>(-side[v]);
+        moved = true;
+        break;  // gains are stale after a move; restart the pass
+      }
+    }
+    if (!moved) break;
+  }
+  return graph.cut_value(side);
+}
+
+std::vector<std::int8_t> maxcut_greedy(const ising::Graph& graph) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::int8_t> side(n, 0);  // 0 = unplaced
+  for (std::size_t v = 0; v < n; ++v) {
+    double to_plus = 0.0;  // cut gained by placing v at +1
+    double to_minus = 0.0;
+    for (const auto& e : graph.edges()) {
+      std::size_t other = n;
+      if (e.u == v) other = e.v;
+      if (e.v == v) other = e.u;
+      if (other == n || side[other] == 0) continue;
+      if (side[other] < 0) {
+        to_plus += e.weight;
+      } else {
+        to_minus += e.weight;
+      }
+    }
+    side[v] = to_plus >= to_minus ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return side;
+}
+
+double maxcut_exhaustive(const ising::Graph& graph) {
+  const std::size_t n = graph.num_vertices();
+  if (n > 26) {
+    throw std::invalid_argument("maxcut_exhaustive: graph too large");
+  }
+  double best = 0.0;
+  std::vector<std::int8_t> side(n);
+  for (std::uint64_t code = 0; code < (1ULL << n); ++code) {
+    for (std::size_t v = 0; v < n; ++v) {
+      side[v] = (code >> v) & 1ULL ? std::int8_t{1} : std::int8_t{-1};
+    }
+    best = std::max(best, graph.cut_value(side));
+  }
+  return best;
+}
+
+}  // namespace saim::problems

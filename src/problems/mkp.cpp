@@ -1,0 +1,297 @@
+#include "problems/mkp.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saim::problems {
+
+MkpInstance::MkpInstance(std::string name, std::vector<std::int64_t> values,
+                         std::vector<std::int64_t> weights,
+                         std::vector<std::int64_t> capacities)
+    : name_(std::move(name)),
+      values_(std::move(values)),
+      weights_(std::move(weights)),
+      capacities_(std::move(capacities)) {
+  if (weights_.size() != values_.size() * capacities_.size()) {
+    throw std::invalid_argument("MkpInstance: A must be m*n");
+  }
+  for (const auto c : capacities_) {
+    if (c < 0) throw std::invalid_argument("MkpInstance: capacities >= 0");
+  }
+  for (const auto w : weights_) {
+    if (w < 0) throw std::invalid_argument("MkpInstance: weights >= 0");
+  }
+}
+
+std::int64_t MkpInstance::weight(std::size_t i, std::size_t j) const {
+  if (i >= m() || j >= n()) {
+    throw std::out_of_range("MkpInstance::weight: index out of range");
+  }
+  return weights_[i * n() + j];
+}
+
+std::span<const std::int64_t> MkpInstance::weight_row(std::size_t i) const {
+  if (i >= m()) {
+    throw std::out_of_range("MkpInstance::weight_row: index out of range");
+  }
+  return {weights_.data() + i * n(), n()};
+}
+
+std::int64_t MkpInstance::profit(std::span<const std::uint8_t> x) const {
+  std::int64_t p = 0;
+  for (std::size_t j = 0; j < n(); ++j) {
+    if (x[j]) p += values_[j];
+  }
+  return p;
+}
+
+std::int64_t MkpInstance::load(std::size_t i,
+                               std::span<const std::uint8_t> x) const {
+  const std::int64_t* row = weights_.data() + i * n();
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < n(); ++j) {
+    if (x[j]) acc += row[j];
+  }
+  return acc;
+}
+
+bool MkpInstance::feasible(std::span<const std::uint8_t> x) const {
+  for (std::size_t i = 0; i < m(); ++i) {
+    if (load(i, x) > capacities_[i]) return false;
+  }
+  return true;
+}
+
+std::int64_t MkpInstance::max_objective_coefficient() const {
+  std::int64_t mx = 0;
+  for (const auto v : values_) mx = std::max(mx, std::abs(v));
+  return mx;
+}
+
+std::int64_t MkpInstance::max_constraint_coefficient() const {
+  std::int64_t mx = 0;
+  for (const auto w : weights_) mx = std::max(mx, w);
+  for (const auto c : capacities_) mx = std::max(mx, c);
+  return mx;
+}
+
+MkpInstance generate_mkp(const MkpGeneratorParams& params) {
+  if (params.n == 0 || params.m == 0) {
+    throw std::invalid_argument("generate_mkp: n and m must be positive");
+  }
+  if (params.tightness <= 0.0 || params.tightness > 1.0) {
+    throw std::invalid_argument("generate_mkp: tightness must be in (0,1]");
+  }
+  util::Xoshiro256pp rng(params.seed);
+
+  const std::size_t n = params.n;
+  const std::size_t m = params.m;
+  std::vector<std::int64_t> weights(m * n);
+  for (auto& w : weights) w = rng.range(1, params.max_weight);
+
+  std::vector<std::int64_t> capacities(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int64_t row_sum = 0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += weights[i * n + j];
+    capacities[i] = static_cast<std::int64_t>(
+        params.tightness * static_cast<double>(row_sum));
+  }
+
+  // Chu–Beasley correlated values: column weight mean plus uniform noise.
+  std::vector<std::int64_t> values(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::int64_t col_sum = 0;
+    for (std::size_t i = 0; i < m; ++i) col_sum += weights[i * n + j];
+    values[j] = col_sum / static_cast<std::int64_t>(m) +
+                rng.range(0, params.value_noise);
+  }
+
+  std::string name = std::to_string(n) + "-" + std::to_string(m) + "-seed" +
+                     std::to_string(params.seed);
+  return MkpInstance(std::move(name), std::move(values), std::move(weights),
+                     std::move(capacities));
+}
+
+MkpInstance make_paper_mkp(std::size_t n, std::size_t m, int index) {
+  MkpGeneratorParams params;
+  params.n = n;
+  params.m = m;
+  params.seed = util::derive_seed(
+      0x3C0FFEEULL, (static_cast<std::uint64_t>(n) << 24) ^
+                        (static_cast<std::uint64_t>(m) << 12) ^
+                        static_cast<std::uint64_t>(index));
+  MkpInstance inst = generate_mkp(params);
+  std::vector<std::int64_t> weights;
+  weights.reserve(n * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = inst.weight_row(i);
+    weights.insert(weights.end(), row.begin(), row.end());
+  }
+  return MkpInstance(std::to_string(n) + "-" + std::to_string(m) + "-" +
+                         std::to_string(index),
+                     {inst.values().begin(), inst.values().end()},
+                     std::move(weights),
+                     {inst.capacities().begin(), inst.capacities().end()});
+}
+
+MkpMapping mkp_to_problem(const MkpInstance& instance, bool normalize) {
+  MkpLoweringOptions options;
+  options.normalize = normalize;
+  return mkp_to_problem(instance, options);
+}
+
+MkpMapping mkp_to_problem(const MkpInstance& instance,
+                          const MkpLoweringOptions& options) {
+  if (options.capacity_shrink <= 0.0 || options.capacity_shrink > 1.0) {
+    throw std::invalid_argument(
+        "mkp_to_problem: capacity_shrink must be in (0, 1]");
+  }
+  const bool normalize = options.normalize;
+  const std::size_t n = instance.n();
+  const std::size_t m = instance.m();
+
+  std::vector<std::int64_t> effective(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    effective[i] = static_cast<std::int64_t>(
+        options.capacity_shrink * static_cast<double>(instance.capacity(i)));
+  }
+
+  std::vector<SlackEncoding> slack;
+  slack.reserve(m);
+  std::size_t total = n;
+  for (std::size_t i = 0; i < m; ++i) {
+    slack.push_back(make_slack_encoding(effective[i]));
+    total += slack.back().num_bits();
+  }
+
+  const double obj_scale =
+      normalize ? static_cast<double>(std::max<std::int64_t>(
+                      1, instance.max_objective_coefficient()))
+                : 1.0;
+  ising::QuboModel objective(total);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (instance.value(j) != 0) {
+      objective.add_linear(j, -static_cast<double>(instance.value(j)) /
+                                  obj_scale);
+    }
+  }
+
+  std::int64_t max_coeff = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      max_coeff = std::max(max_coeff, instance.weight(i, j));
+    }
+    max_coeff = std::max(max_coeff, effective[i]);
+  }
+  for (const auto& enc : slack) {
+    for (const auto c : enc.coefficients) max_coeff = std::max(max_coeff, c);
+  }
+  const double con_scale =
+      normalize ? static_cast<double>(std::max<std::int64_t>(1, max_coeff))
+                : 1.0;
+
+  std::vector<LinearConstraint> rows;
+  rows.reserve(m);
+  std::size_t slack_base = n;
+  for (std::size_t i = 0; i < m; ++i) {
+    LinearConstraint row;
+    row.terms.reserve(n + slack[i].num_bits());
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int64_t w = instance.weight(i, j);
+      if (w != 0) {
+        row.terms.emplace_back(static_cast<std::uint32_t>(j),
+                               static_cast<double>(w) / con_scale);
+      }
+    }
+    for (std::size_t q = 0; q < slack[i].num_bits(); ++q) {
+      row.terms.emplace_back(
+          static_cast<std::uint32_t>(slack_base + q),
+          static_cast<double>(slack[i].coefficients[q]) / con_scale);
+    }
+    row.rhs = static_cast<double>(effective[i]) / con_scale;
+    rows.push_back(std::move(row));
+    slack_base += slack[i].num_bits();
+  }
+
+  MkpMapping mapping;
+  mapping.problem =
+      ConstrainedProblem(std::move(objective), std::move(rows), n);
+  mapping.slack = std::move(slack);
+  mapping.objective_scale = obj_scale;
+  mapping.constraint_scale = con_scale;
+  mapping.effective_capacities = std::move(effective);
+  return mapping;
+}
+
+void save_mkp(std::ostream& os, const MkpInstance& instance) {
+  os << instance.name() << '\n'
+     << instance.n() << ' ' << instance.m() << '\n';
+  for (std::size_t j = 0; j < instance.n(); ++j) {
+    os << instance.value(j) << (j + 1 < instance.n() ? ' ' : '\n');
+  }
+  for (std::size_t i = 0; i < instance.m(); ++i) {
+    for (std::size_t j = 0; j < instance.n(); ++j) {
+      os << instance.weight(i, j) << (j + 1 < instance.n() ? ' ' : '\n');
+    }
+  }
+  for (std::size_t i = 0; i < instance.m(); ++i) {
+    os << instance.capacity(i) << (i + 1 < instance.m() ? ' ' : '\n');
+  }
+}
+
+MkpInstance load_mkp(std::istream& is) {
+  std::string name;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  if (!(is >> name >> n >> m)) {
+    throw std::runtime_error("load_mkp: bad header");
+  }
+  std::vector<std::int64_t> values(n);
+  for (auto& v : values) {
+    if (!(is >> v)) throw std::runtime_error("load_mkp: bad values");
+  }
+  std::vector<std::int64_t> weights(m * n);
+  for (auto& w : weights) {
+    if (!(is >> w)) throw std::runtime_error("load_mkp: bad weights");
+  }
+  std::vector<std::int64_t> capacities(m);
+  for (auto& c : capacities) {
+    if (!(is >> c)) throw std::runtime_error("load_mkp: bad capacities");
+  }
+  return MkpInstance(std::move(name), std::move(values), std::move(weights),
+                     std::move(capacities));
+}
+
+MkpInstance load_mkp_orlib(std::istream& is, std::string name,
+                           std::int64_t* known_optimum) {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::int64_t opt = 0;
+  if (!(is >> n >> m >> opt) || n == 0 || m == 0) {
+    throw std::runtime_error("load_mkp_orlib: bad instance header");
+  }
+  if (known_optimum != nullptr) *known_optimum = opt;
+
+  std::vector<std::int64_t> values(n);
+  for (auto& v : values) {
+    if (!(is >> v)) throw std::runtime_error("load_mkp_orlib: bad values");
+  }
+  std::vector<std::int64_t> weights(m * n);
+  for (auto& w : weights) {
+    if (!(is >> w)) throw std::runtime_error("load_mkp_orlib: bad weights");
+  }
+  std::vector<std::int64_t> capacities(m);
+  for (auto& c : capacities) {
+    if (!(is >> c)) {
+      throw std::runtime_error("load_mkp_orlib: bad capacities");
+    }
+  }
+  return MkpInstance(std::move(name), std::move(values), std::move(weights),
+                     std::move(capacities));
+}
+
+}  // namespace saim::problems

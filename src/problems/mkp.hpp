@@ -1,0 +1,124 @@
+// Multidimensional Knapsack Problem (paper section IV-B, eq. 14):
+//
+//   min  -h^T x     over x in {0,1}^N
+//   s.t.  A x <= B      (A an MxN nonnegative integer matrix)
+//
+// An integer linear program with M capacity constraints. Instances follow
+// the Chu–Beasley OR-Library scheme (see DESIGN.md substitutions):
+// weights a_ij ~ U[1,1000], capacities B_i = tightness * sum_j a_ij, and
+// values correlated with weights, h_j = round(sum_i a_ij / M) + U[0,500] —
+// the correlation is what makes these instances hard for greedy methods.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "problems/constrained_problem.hpp"
+#include "problems/slack.hpp"
+
+namespace saim::problems {
+
+class MkpInstance {
+ public:
+  MkpInstance() = default;
+  MkpInstance(std::string name, std::vector<std::int64_t> values,
+              std::vector<std::int64_t> weights,  // M*N row-major
+              std::vector<std::int64_t> capacities);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t n() const noexcept { return values_.size(); }
+  [[nodiscard]] std::size_t m() const noexcept { return capacities_.size(); }
+
+  [[nodiscard]] std::int64_t value(std::size_t j) const {
+    return values_.at(j);
+  }
+  [[nodiscard]] std::span<const std::int64_t> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::int64_t weight(std::size_t i, std::size_t j) const;
+  [[nodiscard]] std::span<const std::int64_t> weight_row(std::size_t i) const;
+  [[nodiscard]] std::int64_t capacity(std::size_t i) const {
+    return capacities_.at(i);
+  }
+  [[nodiscard]] std::span<const std::int64_t> capacities() const noexcept {
+    return capacities_;
+  }
+
+  [[nodiscard]] std::int64_t profit(std::span<const std::uint8_t> x) const;
+  [[nodiscard]] std::int64_t cost(std::span<const std::uint8_t> x) const {
+    return -profit(x);
+  }
+
+  /// Load of knapsack i: (A x)_i.
+  [[nodiscard]] std::int64_t load(std::size_t i,
+                                  std::span<const std::uint8_t> x) const;
+
+  /// Raw feasibility A x <= B on the N decision bits.
+  [[nodiscard]] bool feasible(std::span<const std::uint8_t> x) const;
+
+  [[nodiscard]] std::int64_t max_objective_coefficient() const;
+  [[nodiscard]] std::int64_t max_constraint_coefficient() const;
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> values_;      ///< h, length n
+  std::vector<std::int64_t> weights_;     ///< A, m*n row-major
+  std::vector<std::int64_t> capacities_;  ///< B, length m
+};
+
+struct MkpGeneratorParams {
+  std::size_t n = 100;
+  std::size_t m = 5;
+  std::uint64_t seed = 1;
+  double tightness = 0.5;         ///< B_i = tightness * sum_j a_ij
+  std::int64_t max_weight = 1000; ///< a_ij ~ U[1, max_weight]
+  std::int64_t value_noise = 500; ///< h_j = round(mean col weight) + U[0,noise]
+};
+
+/// Deterministic random instance in the Chu–Beasley style.
+MkpInstance generate_mkp(const MkpGeneratorParams& params);
+
+/// Paper naming "N-M-k", e.g. (250, 5, 8).
+MkpInstance make_paper_mkp(std::size_t n, std::size_t m, int index);
+
+struct MkpMapping {
+  ConstrainedProblem problem;        ///< over n + sum_i Q_i variables
+  std::vector<SlackEncoding> slack;  ///< one encoding per knapsack
+  double objective_scale = 1.0;
+  double constraint_scale = 1.0;
+  std::vector<std::int64_t> effective_capacities;  ///< B' used in the rows
+};
+
+struct MkpLoweringOptions {
+  bool normalize = true;
+  /// Artificial capacity reduction B' = shrink * B (paper conclusion,
+  /// after [16]): solving against tighter capacities biases the sampler
+  /// toward the feasible side of the true constraints and raises the
+  /// feasibility rate. Feasibility of samples is still judged against the
+  /// true B. Must be in (0, 1].
+  double capacity_shrink = 1.0;
+};
+
+/// Lowers to min f = -h^T x with M equality rows A x + slack_i = B'_i,
+/// normalized by max(|h|) and max(|A|,|B'|) respectively.
+MkpMapping mkp_to_problem(const MkpInstance& instance,
+                          const MkpLoweringOptions& options);
+MkpMapping mkp_to_problem(const MkpInstance& instance, bool normalize = true);
+
+/// OR-Library-style text serialization (round-trips via load_mkp).
+void save_mkp(std::ostream& os, const MkpInstance& instance);
+MkpInstance load_mkp(std::istream& is);
+
+/// Reader for one instance in the official OR-Library mknapcb format:
+///   n m opt  (opt = 0 when unknown), then n values, then m*n weights
+///   (row per constraint), then m capacities. Files like mknapcb1.txt
+///   carry a leading instance count and concatenate many instances; call
+///   repeatedly after consuming that count. `known_optimum` receives the
+///   archive's recorded optimum (0 if unknown) when non-null.
+MkpInstance load_mkp_orlib(std::istream& is, std::string name,
+                           std::int64_t* known_optimum = nullptr);
+
+}  // namespace saim::problems

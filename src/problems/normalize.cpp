@@ -1,0 +1,58 @@
+#include "problems/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saim::problems {
+
+double objective_max_abs(const ConstrainedProblem& problem) {
+  return problem.objective().max_abs_coefficient();
+}
+
+double constraint_max_abs(const ConstrainedProblem& problem) {
+  double mx = 0.0;
+  for (const auto& row : problem.constraints()) {
+    for (const auto& [idx, coeff] : row.terms) {
+      (void)idx;
+      mx = std::max(mx, std::abs(coeff));
+    }
+    mx = std::max(mx, std::abs(row.rhs));
+  }
+  return mx;
+}
+
+ConstrainedProblem normalized(const ConstrainedProblem& problem,
+                              NormalizationScales* scales) {
+  NormalizationScales s;
+  const double obj_max = objective_max_abs(problem);
+  const double con_max = constraint_max_abs(problem);
+  s.objective = obj_max > 0.0 ? obj_max : 1.0;
+  s.constraint = con_max > 0.0 ? con_max : 1.0;
+
+  const std::size_t n = problem.n();
+  ising::QuboModel objective(n);
+  problem.objective().for_each_quadratic(
+      [&](std::size_t i, std::size_t j, double q) {
+        objective.add_quadratic(i, j, q / s.objective);
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = problem.objective().linear(i);
+    if (q != 0.0) objective.add_linear(i, q / s.objective);
+  }
+  objective.set_offset(problem.objective().offset() / s.objective);
+
+  std::vector<LinearConstraint> rows = problem.constraints();
+  for (auto& row : rows) {
+    for (auto& [idx, coeff] : row.terms) {
+      (void)idx;
+      coeff /= s.constraint;
+    }
+    row.rhs /= s.constraint;
+  }
+
+  if (scales != nullptr) *scales = s;
+  return ConstrainedProblem(std::move(objective), std::move(rows),
+                            problem.num_decision());
+}
+
+}  // namespace saim::problems

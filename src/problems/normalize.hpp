@@ -1,0 +1,30 @@
+// Coefficient normalization (paper section IV-A): "We normalize W, h by
+// max(|W|,|h|) and A, b by max(|A|,|b|) to keep the same beta schedule for
+// all instances." The QKP/MKP builders normalize at construction; this
+// header exposes the same operation for already-built ConstrainedProblems
+// (used by the generic examples and by tests that verify the invariance of
+// argmin sets under normalization).
+#pragma once
+
+#include "problems/constrained_problem.hpp"
+
+namespace saim::problems {
+
+struct NormalizationScales {
+  double objective = 1.0;   ///< divisor applied to f's coefficients
+  double constraint = 1.0;  ///< divisor applied to every constraint row
+};
+
+/// Largest absolute coefficient of f (couplings and linear; offset excluded).
+double objective_max_abs(const ConstrainedProblem& problem);
+
+/// Largest absolute coefficient over all constraint rows and right-hand sides.
+double constraint_max_abs(const ConstrainedProblem& problem);
+
+/// Returns a rescaled copy: f / s_f and g / s_g with the scales returned in
+/// `scales`. Scales of zero-coefficient parts default to 1. Minimizers are
+/// unchanged; feasible sets are unchanged (g = 0 iff g/s = 0).
+ConstrainedProblem normalized(const ConstrainedProblem& problem,
+                              NormalizationScales* scales = nullptr);
+
+}  // namespace saim::problems

@@ -1,0 +1,199 @@
+#include "problems/portfolio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saim::problems {
+
+PortfolioInstance::PortfolioInstance(std::string name,
+                                     std::vector<double> expected_returns,
+                                     std::vector<double> covariance,
+                                     std::vector<std::int64_t> prices,
+                                     std::int64_t budget,
+                                     double risk_aversion)
+    : name_(std::move(name)),
+      returns_(std::move(expected_returns)),
+      covariance_(std::move(covariance)),
+      prices_(std::move(prices)),
+      budget_(budget),
+      risk_aversion_(risk_aversion) {
+  const std::size_t n = returns_.size();
+  if (covariance_.size() != n * n) {
+    throw std::invalid_argument("PortfolioInstance: Sigma must be n*n");
+  }
+  if (prices_.size() != n) {
+    throw std::invalid_argument("PortfolioInstance: prices length mismatch");
+  }
+  if (budget_ < 0) {
+    throw std::invalid_argument("PortfolioInstance: negative budget");
+  }
+  if (risk_aversion_ < 0.0) {
+    throw std::invalid_argument("PortfolioInstance: negative risk aversion");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(covariance_[i * n + j] - covariance_[j * n + i]) >
+          1e-12) {
+        throw std::invalid_argument(
+            "PortfolioInstance: Sigma must be symmetric");
+      }
+    }
+  }
+}
+
+double PortfolioInstance::covariance(std::size_t i, std::size_t j) const {
+  const std::size_t n = returns_.size();
+  if (i >= n || j >= n) {
+    throw std::out_of_range("PortfolioInstance::covariance: out of range");
+  }
+  return covariance_[i * n + j];
+}
+
+double PortfolioInstance::portfolio_return(
+    std::span<const std::uint8_t> x) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < returns_.size(); ++i) {
+    if (x[i]) acc += returns_[i];
+  }
+  return acc;
+}
+
+double PortfolioInstance::portfolio_risk(
+    std::span<const std::uint8_t> x) const {
+  const std::size_t n = returns_.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!x[i]) continue;
+    acc += covariance_[i * n + i];
+    const double* row = covariance_.data() + i * n;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (x[j]) acc += 2.0 * row[j];
+    }
+  }
+  return acc;
+}
+
+std::int64_t PortfolioInstance::total_price(
+    std::span<const std::uint8_t> x) const {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < prices_.size(); ++i) {
+    if (x[i]) acc += prices_[i];
+  }
+  return acc;
+}
+
+PortfolioInstance generate_portfolio(const PortfolioGeneratorParams& params) {
+  if (params.n == 0 || params.factors == 0) {
+    throw std::invalid_argument("generate_portfolio: n and factors > 0");
+  }
+  util::Xoshiro256pp rng(params.seed);
+  const std::size_t n = params.n;
+  const std::size_t k = params.factors;
+
+  std::vector<double> returns(n);
+  for (auto& r : returns) r = 2.0 * params.mean_return * rng.uniform01();
+
+  // Factor loadings L (n x k), Sigma = L L^T + diag(idio^2).
+  std::vector<double> loadings(n * k);
+  for (auto& l : loadings) l = params.factor_vol * rng.uniform_sym();
+  std::vector<double> sigma(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t f = 0; f < k; ++f) {
+        acc += loadings[i * k + f] * loadings[j * k + f];
+      }
+      if (i == j) acc += params.idio_vol * params.idio_vol;
+      sigma[i * n + j] = acc;
+      sigma[j * n + i] = acc;
+    }
+  }
+
+  std::vector<std::int64_t> prices(n);
+  std::int64_t total = 0;
+  for (auto& p : prices) {
+    p = rng.range(1, params.max_price);
+    total += p;
+  }
+  const auto budget = static_cast<std::int64_t>(
+      params.budget_fraction * static_cast<double>(total));
+
+  return PortfolioInstance(
+      "portfolio-" + std::to_string(n) + "-seed" +
+          std::to_string(params.seed),
+      std::move(returns), std::move(sigma), std::move(prices), budget,
+      params.risk_aversion);
+}
+
+PortfolioMapping portfolio_to_problem(const PortfolioInstance& instance,
+                                      bool normalize) {
+  const std::size_t n = instance.n();
+  SlackEncoding slack = make_slack_encoding(instance.budget());
+  const std::size_t total = n + slack.num_bits();
+
+  // Objective -mu^T x + kappa x^T Sigma x over binaries: diagonal Sigma_ii
+  // terms fold into the linear part (x_i^2 = x_i), off-diagonals become
+  // couplings with coefficient 2*kappa*Sigma_ij.
+  const double kappa = instance.risk_aversion();
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs,
+                       std::abs(-instance.expected_return(i) +
+                                kappa * instance.covariance(i, i)));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      max_abs = std::max(max_abs,
+                         std::abs(2.0 * kappa * instance.covariance(i, j)));
+    }
+  }
+  const double obj_scale = normalize && max_abs > 0.0 ? max_abs : 1.0;
+
+  ising::QuboModel objective(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double linear =
+        -instance.expected_return(i) + kappa * instance.covariance(i, i);
+    if (linear != 0.0) objective.add_linear(i, linear / obj_scale);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double coupling = 2.0 * kappa * instance.covariance(i, j);
+      if (coupling != 0.0) {
+        objective.add_quadratic(i, j, coupling / obj_scale);
+      }
+    }
+  }
+
+  std::int64_t max_coeff = instance.budget();
+  for (std::size_t i = 0; i < n; ++i) {
+    max_coeff = std::max(max_coeff, instance.price(i));
+  }
+  for (const auto c : slack.coefficients) max_coeff = std::max(max_coeff, c);
+  const double con_scale =
+      normalize ? static_cast<double>(std::max<std::int64_t>(1, max_coeff))
+                : 1.0;
+
+  LinearConstraint row;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (instance.price(i) != 0) {
+      row.terms.emplace_back(
+          static_cast<std::uint32_t>(i),
+          static_cast<double>(instance.price(i)) / con_scale);
+    }
+  }
+  for (std::size_t q = 0; q < slack.num_bits(); ++q) {
+    row.terms.emplace_back(static_cast<std::uint32_t>(n + q),
+                           static_cast<double>(slack.coefficients[q]) /
+                               con_scale);
+  }
+  row.rhs = static_cast<double>(instance.budget()) / con_scale;
+
+  PortfolioMapping mapping;
+  mapping.problem =
+      ConstrainedProblem(std::move(objective), {std::move(row)}, n);
+  mapping.slack = std::move(slack);
+  mapping.objective_scale = obj_scale;
+  mapping.constraint_scale = con_scale;
+  return mapping;
+}
+
+}  // namespace saim::problems

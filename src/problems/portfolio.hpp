@@ -1,0 +1,99 @@
+// Mean-variance portfolio selection with a budget constraint — another of
+// the paper's motivating applications ("capital budgeting, portfolio
+// optimization"). Unlike QKP/MKP this exercises the *general-double*
+// quadratic path: the covariance matrix is dense, real-valued and positive
+// semi-definite, and the objective mixes a linear return term with a
+// quadratic risk term:
+//
+//   min  -mu^T x + kappa * x^T Sigma x     over x in {0,1}^N
+//   s.t.  p^T x <= B                       (prices, budget)
+//
+// Covariances are generated from a K-factor model Sigma = L L^T + D
+// (idiosyncratic diagonal D > 0), which guarantees PSD and produces the
+// correlated-risk structure that makes naive greedy selection fail.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "problems/constrained_problem.hpp"
+#include "problems/slack.hpp"
+
+namespace saim::problems {
+
+class PortfolioInstance {
+ public:
+  PortfolioInstance() = default;
+  PortfolioInstance(std::string name, std::vector<double> expected_returns,
+                    std::vector<double> covariance,  // n*n row-major PSD
+                    std::vector<std::int64_t> prices, std::int64_t budget,
+                    double risk_aversion);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t n() const noexcept { return returns_.size(); }
+  [[nodiscard]] double expected_return(std::size_t i) const {
+    return returns_.at(i);
+  }
+  [[nodiscard]] double covariance(std::size_t i, std::size_t j) const;
+  [[nodiscard]] std::int64_t price(std::size_t i) const {
+    return prices_.at(i);
+  }
+  [[nodiscard]] std::int64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] double risk_aversion() const noexcept {
+    return risk_aversion_;
+  }
+
+  /// Portfolio return mu^T x.
+  [[nodiscard]] double portfolio_return(
+      std::span<const std::uint8_t> x) const;
+  /// Portfolio variance x^T Sigma x.
+  [[nodiscard]] double portfolio_risk(std::span<const std::uint8_t> x) const;
+  /// The minimization objective -return + kappa * risk.
+  [[nodiscard]] double objective(std::span<const std::uint8_t> x) const {
+    return -portfolio_return(x) + risk_aversion_ * portfolio_risk(x);
+  }
+  [[nodiscard]] std::int64_t total_price(
+      std::span<const std::uint8_t> x) const;
+  [[nodiscard]] bool feasible(std::span<const std::uint8_t> x) const {
+    return total_price(x) <= budget_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<double> returns_;
+  std::vector<double> covariance_;  ///< n*n row-major, symmetric PSD
+  std::vector<std::int64_t> prices_;
+  std::int64_t budget_ = 0;
+  double risk_aversion_ = 1.0;
+};
+
+struct PortfolioGeneratorParams {
+  std::size_t n = 30;          ///< number of candidate assets
+  std::size_t factors = 3;     ///< K of the factor model
+  std::uint64_t seed = 1;
+  double mean_return = 0.08;   ///< returns ~ U[0, 2*mean]
+  double factor_vol = 0.15;    ///< factor loadings ~ U[-vol, vol]
+  double idio_vol = 0.05;      ///< idiosyncratic stddev
+  std::int64_t max_price = 100;  ///< prices ~ U[1, max]
+  double budget_fraction = 0.4;  ///< B = fraction * sum(prices)
+  double risk_aversion = 2.0;
+};
+
+/// Deterministic factor-model instance.
+PortfolioInstance generate_portfolio(const PortfolioGeneratorParams& params);
+
+struct PortfolioMapping {
+  ConstrainedProblem problem;
+  SlackEncoding slack;
+  double objective_scale = 1.0;
+  double constraint_scale = 1.0;
+};
+
+/// Lowers to the equality-constrained normalized form (slack bits on the
+/// budget row), exactly like the QKP path.
+PortfolioMapping portfolio_to_problem(const PortfolioInstance& instance,
+                                      bool normalize = true);
+
+}  // namespace saim::problems

@@ -1,0 +1,54 @@
+#include "problems/slack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saim::problems {
+
+std::int64_t SlackEncoding::max_value() const noexcept {
+  std::int64_t total = 0;
+  for (const auto c : coefficients) total += c;
+  return total;
+}
+
+std::int64_t SlackEncoding::decode(
+    const std::vector<std::uint8_t>& bits) const {
+  if (bits.size() != coefficients.size()) {
+    throw std::invalid_argument("SlackEncoding::decode: bit-count mismatch");
+  }
+  std::int64_t value = 0;
+  for (std::size_t q = 0; q < bits.size(); ++q) {
+    if (bits[q]) value += coefficients[q];
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> SlackEncoding::encode(std::int64_t value) const {
+  std::int64_t v = std::clamp<std::int64_t>(value, 0, max_value());
+  std::vector<std::uint8_t> bits(coefficients.size(), 0);
+  // Greedy top-down works because coefficients are the canonical powers of 2.
+  for (std::size_t q = coefficients.size(); q-- > 0;) {
+    if (v >= coefficients[q]) {
+      bits[q] = 1;
+      v -= coefficients[q];
+    }
+  }
+  return bits;
+}
+
+SlackEncoding make_slack_encoding(std::int64_t bound) {
+  if (bound < 0) {
+    throw std::invalid_argument("make_slack_encoding: bound must be >= 0");
+  }
+  SlackEncoding enc;
+  enc.bound = bound;
+  // Q = floor(log2(b) + 1) == number of bits in b's binary representation.
+  std::int64_t power = 1;
+  while (power <= bound) {
+    enc.coefficients.push_back(power);
+    power <<= 1;
+  }
+  return enc;
+}
+
+}  // namespace saim::problems

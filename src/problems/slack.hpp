@@ -1,0 +1,42 @@
+// Binary slack encoding of inequality constraints (paper section IV-A).
+//
+// An inequality a^T x <= b with nonnegative integer data is turned into the
+// equality a^T x + x_S = b by a slack variable 0 <= x_S <= b, which is then
+// binary-decomposed as
+//     x_S = x_S^0 + 2 x_S^1 + ... + 2^(Q-1) x_S^(Q-1),
+//     Q   = floor(log2(b) + 1)
+// adding Q binary variables whose coefficients 2^q extend the constraint
+// row. Q is chosen so the slack can represent every value in [0, b]
+// (its maximum 2^Q - 1 >= b; overshoot values simply correspond to
+// penalized, unreachable equality states).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saim::problems {
+
+struct SlackEncoding {
+  std::int64_t bound = 0;                  ///< b of the original inequality
+  std::vector<std::int64_t> coefficients;  ///< 1, 2, 4, ..., 2^(Q-1)
+
+  [[nodiscard]] std::size_t num_bits() const noexcept {
+    return coefficients.size();
+  }
+
+  /// Maximum representable slack value 2^Q - 1 (>= bound).
+  [[nodiscard]] std::int64_t max_value() const noexcept;
+
+  /// Decodes slack bits into the integer slack value.
+  [[nodiscard]] std::int64_t decode(
+      const std::vector<std::uint8_t>& bits) const;
+
+  /// Encodes `value` (clamped to [0, max_value()]) into bits, little-endian.
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::int64_t value) const;
+};
+
+/// Builds the encoding for slack range [0, bound]. bound >= 0; bound == 0
+/// yields zero slack bits (the inequality is already an equality).
+SlackEncoding make_slack_encoding(std::int64_t bound);
+
+}  // namespace saim::problems

@@ -1,0 +1,45 @@
+// Umbrella header: pulls in the whole public API. Fine-grained includes
+// are preferred in translation units that care about build time; this is
+// for quick starts and REPL-style experimentation.
+#pragma once
+
+#include "anneal/backend.hpp"                 // IWYU pragma: export
+#include "anneal/exact_backend.hpp"           // IWYU pragma: export
+#include "anneal/parallel_tempering.hpp"      // IWYU pragma: export
+#include "anneal/simulated_annealing.hpp"     // IWYU pragma: export
+#include "anneal/sqa.hpp"                     // IWYU pragma: export
+#include "anneal/tabu.hpp"                    // IWYU pragma: export
+#include "core/multi_start.hpp"               // IWYU pragma: export
+#include "core/params.hpp"                    // IWYU pragma: export
+#include "core/penalty_method.hpp"            // IWYU pragma: export
+#include "core/report.hpp"                    // IWYU pragma: export
+#include "core/result.hpp"                    // IWYU pragma: export
+#include "core/saim_solver.hpp"               // IWYU pragma: export
+#include "core/tts.hpp"                       // IWYU pragma: export
+#include "exact/exhaustive.hpp"               // IWYU pragma: export
+#include "exact/knapsack_dp.hpp"              // IWYU pragma: export
+#include "exact/mkp_branch_bound.hpp"         // IWYU pragma: export
+#include "ga/chu_beasley.hpp"                 // IWYU pragma: export
+#include "heuristics/greedy.hpp"              // IWYU pragma: export
+#include "ising/adjacency.hpp"                // IWYU pragma: export
+#include "ising/convert.hpp"                  // IWYU pragma: export
+#include "ising/graph.hpp"                    // IWYU pragma: export
+#include "ising/ising_model.hpp"              // IWYU pragma: export
+#include "ising/qubo_model.hpp"               // IWYU pragma: export
+#include "lagrange/lagrangian_model.hpp"      // IWYU pragma: export
+#include "pbit/diagnostics.hpp"               // IWYU pragma: export
+#include "pbit/pbit_machine.hpp"              // IWYU pragma: export
+#include "pbit/schedule.hpp"                  // IWYU pragma: export
+#include "problems/constrained_problem.hpp"   // IWYU pragma: export
+#include "problems/maxcut.hpp"                // IWYU pragma: export
+#include "problems/mkp.hpp"                   // IWYU pragma: export
+#include "problems/normalize.hpp"             // IWYU pragma: export
+#include "problems/portfolio.hpp"             // IWYU pragma: export
+#include "problems/qkp.hpp"                   // IWYU pragma: export
+#include "problems/slack.hpp"                 // IWYU pragma: export
+#include "util/cli.hpp"                       // IWYU pragma: export
+#include "util/csv.hpp"                       // IWYU pragma: export
+#include "util/logging.hpp"                   // IWYU pragma: export
+#include "util/rng.hpp"                       // IWYU pragma: export
+#include "util/stats.hpp"                     // IWYU pragma: export
+#include "util/timer.hpp"                     // IWYU pragma: export

@@ -1,0 +1,74 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace saim::util {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  if (!file_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter::CsvWriter() = default;
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  if (to_file_) {
+    file_ << line << '\n';
+  } else {
+    buffer_ += line;
+    buffer_ += '\n';
+  }
+}
+
+void CsvWriter::write_header(std::initializer_list<std::string_view> names) {
+  std::string line;
+  bool first = true;
+  for (const auto name : names) {
+    if (!first) line += ',';
+    line += escape(name);
+    first = false;
+  }
+  write_line(line);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  std::string line;
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) line += ',';
+    line += escape(f);
+    first = false;
+  }
+  write_line(line);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  bool first = true;
+  for (const double v : values) {
+    if (!first) os << ',';
+    os << v;
+    first = false;
+  }
+  write_line(os.str());
+}
+
+}  // namespace saim::util

@@ -1,0 +1,48 @@
+// Minimal CSV writer for experiment traces (Fig. 3/5 time series) and table
+// dumps. Quotes fields only when required, writes deterministic formatting
+// so diffs between runs are meaningful.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saim::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error if the
+  /// file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// In-memory mode (for tests): rows are appended to an internal buffer.
+  CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+  ~CsvWriter() = default;
+
+  void write_header(std::initializer_list<std::string_view> names);
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with up to `precision` significant digits.
+  void write_row(const std::vector<double>& values, int precision = 10);
+
+  /// Buffered content in in-memory mode; empty string in file mode.
+  [[nodiscard]] const std::string& buffer() const noexcept { return buffer_; }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::ofstream file_;
+  std::string buffer_;
+  bool to_file_ = false;
+};
+
+}  // namespace saim::util

@@ -1,0 +1,66 @@
+// Descriptive statistics used by the benchmark harnesses: the paper reports
+// best/average accuracies (Tables II-V) and quartile boxes (Fig. 4a), so we
+// provide exact order statistics plus a streaming accumulator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace saim::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable for the long accuracy streams produced by 2000+ runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number summary + mean, as drawn in the paper's Fig. 4a box plot.
+struct QuartileSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< 25th percentile
+  double median = 0.0;  ///< 50th percentile
+  double q3 = 0.0;      ///< 75th percentile
+  double max = 0.0;
+  double mean = 0.0;
+
+  /// Interquartile range q3 - q1 (the paper quotes IQR < 0.8% for SAIM).
+  [[nodiscard]] double iqr() const noexcept { return q3 - q1; }
+};
+
+/// Linear-interpolated percentile (R-7 / NumPy default). p in [0,100].
+/// Returns 0 for empty input.
+double percentile(std::span<const double> sorted, double p) noexcept;
+
+/// Computes the five-number summary; copies and sorts internally.
+QuartileSummary summarize(std::span<const double> values);
+
+/// Mean of a range; 0 for empty input.
+double mean_of(std::span<const double> values) noexcept;
+
+/// Renders "min/q1/med/q3/max (mean)" with the given precision — the row
+/// format used by the figure benches.
+std::string format_summary(const QuartileSummary& s, int precision = 2);
+
+}  // namespace saim::util

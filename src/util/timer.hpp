@@ -1,0 +1,28 @@
+// Wall-clock timer for the benchmark harnesses (B&B time column of Table V,
+// time-to-solution reporting).
+#pragma once
+
+#include <chrono>
+
+namespace saim::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace saim::util

@@ -1,0 +1,118 @@
+// Readers for the official benchmark-archive formats: Billionnet–Soutif
+// QKP files and OR-Library mknapcb MKP files. Verified against synthetic
+// files written in the exact published layouts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+
+namespace saim::problems {
+namespace {
+
+TEST(BillionnetIo, ParsesCanonicalLayout) {
+  // 3 items: linear 10 20 30; triangle W01=5 W02=0 W12=7; type 0;
+  // capacity 5; weights 2 3 4.
+  std::stringstream ss(
+      "jeu_100_25_1\n"
+      "3\n"
+      "10 20 30\n"
+      "5 0\n"
+      "7\n"
+      "0\n"
+      "5\n"
+      "2 3 4\n");
+  const auto inst = load_qkp_billionnet(ss);
+  EXPECT_EQ(inst.name(), "jeu_100_25_1");
+  EXPECT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.value(0), 10);
+  EXPECT_EQ(inst.value(2), 30);
+  EXPECT_EQ(inst.pair_value(0, 1), 5);
+  EXPECT_EQ(inst.pair_value(1, 0), 5);
+  EXPECT_EQ(inst.pair_value(0, 2), 0);
+  EXPECT_EQ(inst.pair_value(1, 2), 7);
+  EXPECT_EQ(inst.capacity(), 5);
+  EXPECT_EQ(inst.weight(1), 3);
+  // Semantics: profit of {0,1} = 10+20+5.
+  EXPECT_EQ(inst.profit(std::vector<std::uint8_t>{1, 1, 0}), 35);
+}
+
+TEST(BillionnetIo, SingleItemInstanceHasEmptyTriangle) {
+  std::stringstream ss("tiny\n1\n42\n0\n7\n3\n");
+  const auto inst = load_qkp_billionnet(ss);
+  EXPECT_EQ(inst.n(), 1u);
+  EXPECT_EQ(inst.value(0), 42);
+  EXPECT_EQ(inst.capacity(), 7);
+  EXPECT_EQ(inst.weight(0), 3);
+}
+
+TEST(BillionnetIo, RejectsTruncatedFiles) {
+  std::stringstream missing_triangle("x\n3\n1 2 3\n5\n");
+  EXPECT_THROW(load_qkp_billionnet(missing_triangle), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(load_qkp_billionnet(empty), std::runtime_error);
+  std::stringstream zero_n("x\n0\n");
+  EXPECT_THROW(load_qkp_billionnet(zero_n), std::runtime_error);
+}
+
+TEST(OrLibIo, ParsesOneInstance) {
+  // n=3 m=2 opt=99; values; 2x3 weights; capacities.
+  std::stringstream ss(
+      "3 2 99\n"
+      "6 10 12\n"
+      "1 2 3\n"
+      "4 2 1\n"
+      "4 5\n");
+  std::int64_t opt = 0;
+  const auto inst = load_mkp_orlib(ss, "mknapcb1-0", &opt);
+  EXPECT_EQ(opt, 99);
+  EXPECT_EQ(inst.name(), "mknapcb1-0");
+  EXPECT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.m(), 2u);
+  EXPECT_EQ(inst.value(2), 12);
+  EXPECT_EQ(inst.weight(1, 0), 4);
+  EXPECT_EQ(inst.capacity(1), 5);
+  EXPECT_TRUE(inst.feasible(std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(OrLibIo, ConsumesConcatenatedInstances) {
+  // Two instances back to back, as in real mknapcb files (after the
+  // leading count, which the caller strips).
+  std::stringstream ss(
+      "2 1 0\n"
+      "5 6\n"
+      "1 2\n"
+      "2\n"
+      "2 1 50\n"
+      "7 8\n"
+      "3 4\n"
+      "5\n");
+  std::int64_t opt_a = -1;
+  std::int64_t opt_b = -1;
+  const auto a = load_mkp_orlib(ss, "a", &opt_a);
+  const auto b = load_mkp_orlib(ss, "b", &opt_b);
+  EXPECT_EQ(opt_a, 0);
+  EXPECT_EQ(opt_b, 50);
+  EXPECT_EQ(a.value(0), 5);
+  EXPECT_EQ(b.value(0), 7);
+  EXPECT_EQ(b.capacity(0), 5);
+}
+
+TEST(OrLibIo, NullOptimumPointerIsAllowed) {
+  std::stringstream ss("1 1 0\n9\n2\n4\n");
+  const auto inst = load_mkp_orlib(ss, "x");
+  EXPECT_EQ(inst.value(0), 9);
+}
+
+TEST(OrLibIo, RejectsBadHeaders) {
+  std::stringstream garbage("hello");
+  EXPECT_THROW(load_mkp_orlib(garbage, "x"), std::runtime_error);
+  std::stringstream zero("0 1 0\n");
+  EXPECT_THROW(load_mkp_orlib(zero, "x"), std::runtime_error);
+  std::stringstream truncated("2 1 0\n5 6\n1\n");
+  EXPECT_THROW(load_mkp_orlib(truncated, "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saim::problems

@@ -1,0 +1,154 @@
+#include "core/penalty_method.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+#include "util/csv.hpp"
+
+namespace saim::core {
+namespace {
+
+anneal::PBitBackend small_backend(std::size_t sweeps = 150) {
+  return anneal::PBitBackend(pbit::Schedule::linear(10.0), sweeps);
+}
+
+TEST(PenaltyMethod, EquivalentToSaimWithZeroEta) {
+  const auto inst = problems::make_paper_qkp(12, 50, 1);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const auto eval = make_qkp_evaluator(inst);
+
+  auto backend1 = small_backend();
+  PenaltyOptions popts;
+  popts.runs = 25;
+  popts.penalty_alpha = 2.0;
+  popts.seed = 5;
+  const auto penalty =
+      solve_penalty_method(mapping.problem, backend1, popts, eval);
+
+  auto backend2 = small_backend();
+  SaimOptions sopts;
+  sopts.iterations = 25;
+  sopts.eta = 0.0;
+  sopts.penalty_alpha = 2.0;
+  sopts.seed = 5;
+  SaimSolver saim(mapping.problem, backend2, sopts);
+  const auto zero_eta = saim.solve(eval);
+
+  EXPECT_EQ(penalty.best_cost, zero_eta.best_cost);
+  EXPECT_EQ(penalty.feasible_count, zero_eta.feasible_count);
+  EXPECT_EQ(penalty.best_x, zero_eta.best_x);
+}
+
+TEST(PenaltyMethod, LargerPenaltyRaisesFeasibility) {
+  // The paper observes "on average, a large P value implies a feasibility
+  // increase". Check the trend on a small instance with a big gap in P.
+  const auto inst = problems::make_paper_qkp(20, 50, 2);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const auto eval = make_qkp_evaluator(inst);
+
+  auto run_with_alpha = [&](double alpha) {
+    auto backend = small_backend();
+    PenaltyOptions opts;
+    opts.runs = 40;
+    opts.penalty_alpha = alpha;
+    opts.seed = 7;
+    return solve_penalty_method(mapping.problem, backend, opts, eval)
+        .feasibility_rate();
+  };
+  const double small_p = run_with_alpha(0.1);
+  const double large_p = run_with_alpha(100.0);
+  EXPECT_GE(large_p, small_p);
+  EXPECT_GT(large_p, 0.5);  // strong penalties should make most runs feasible
+}
+
+TEST(TunePenalty, StopsAtFirstRungReachingTarget) {
+  const auto inst = problems::make_paper_qkp(15, 50, 3);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const auto eval = make_qkp_evaluator(inst);
+  auto backend = small_backend();
+
+  PenaltyTuningOptions opts;
+  opts.alpha_ladder = {0.01, 200.0};
+  opts.target_feasibility = 0.2;
+  opts.probe_runs = 15;
+  opts.seed = 2;
+  const auto tuning = tune_penalty(mapping.problem, backend, opts, eval);
+  // The 200dN rung should reach 20% feasibility on this instance.
+  EXPECT_DOUBLE_EQ(tuning.alpha, 200.0);
+  EXPECT_GE(tuning.feasibility, 0.2);
+  ASSERT_LE(tuning.probes.size(), 2u);
+  EXPECT_GT(tuning.total_sweeps, 0u);
+}
+
+TEST(TunePenalty, FallsBackToBestRungWhenTargetUnreachable) {
+  const auto inst = problems::make_paper_qkp(15, 50, 4);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const auto eval = make_qkp_evaluator(inst);
+  auto backend = small_backend();
+
+  PenaltyTuningOptions opts;
+  opts.alpha_ladder = {0.001, 0.002};
+  opts.target_feasibility = 1.01;  // unreachable by construction
+  opts.probe_runs = 10;
+  const auto tuning = tune_penalty(mapping.problem, backend, opts, eval);
+  EXPECT_EQ(tuning.probes.size(), 2u);
+  EXPECT_TRUE(tuning.alpha == 0.001 || tuning.alpha == 0.002);
+  // Penalty must correspond to the chosen alpha.
+  EXPECT_NEAR(tuning.penalty,
+              lagrange::heuristic_penalty(mapping.problem, tuning.alpha),
+              1e-12);
+}
+
+TEST(Evaluators, QkpJudgesDecisionBitsOnly) {
+  const auto inst = problems::make_paper_qkp(10, 50, 6);
+  const auto eval = make_qkp_evaluator(inst);
+  // Feed a slack-extended vector: all decision bits zero -> feasible, cost 0
+  // regardless of slack bits.
+  std::vector<std::uint8_t> x(inst.n() + 5, 0);
+  x[inst.n()] = 1;  // slack bit set; must be ignored
+  const auto v = eval(x);
+  EXPECT_TRUE(v.feasible);
+  EXPECT_DOUBLE_EQ(v.cost, 0.0);
+}
+
+TEST(Evaluators, MkpJudgesAllConstraints) {
+  const problems::MkpInstance inst("t", {5, 6}, {3, 3, 10, 1}, {3, 10});
+  const auto eval = make_mkp_evaluator(inst);
+  std::vector<std::uint8_t> x = {1, 1};  // loads {6,11} violate both
+  EXPECT_FALSE(eval(x).feasible);
+  x = {1, 0};  // loads {3,10} fit exactly
+  const auto v = eval(x);
+  EXPECT_TRUE(v.feasible);
+  EXPECT_DOUBLE_EQ(v.cost, -5.0);
+}
+
+TEST(WriteHistoryCsv, ProducesHeaderAndRows) {
+  std::vector<IterationRecord> history(2);
+  history[0].iteration = 0;
+  history[0].sample_cost = -5.0;
+  history[0].feasible = true;
+  history[0].lambda = {0.0, 1.0};
+  history[1].iteration = 1;
+  history[1].sample_cost = -6.0;
+  history[1].lambda = {0.5, 1.5};
+
+  util::CsvWriter csv;
+  write_history_csv(csv, history);
+  const std::string& out = csv.buffer();
+  EXPECT_NE(out.find("iteration,cost,feasible"), std::string::npos);
+  EXPECT_NE(out.find("lambda_1"), std::string::npos);
+  // Two data rows + header = 3 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(WriteHistoryCsv, EmptyHistoryWritesNothing) {
+  util::CsvWriter csv;
+  write_history_csv(csv, {});
+  EXPECT_TRUE(csv.buffer().empty());
+}
+
+}  // namespace
+}  // namespace saim::core

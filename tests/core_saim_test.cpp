@@ -1,0 +1,257 @@
+#include "core/saim_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "core/penalty_method.hpp"
+#include "exact/exhaustive.hpp"
+#include "problems/qkp.hpp"
+
+namespace saim::core {
+namespace {
+
+using problems::ConstrainedProblem;
+using problems::LinearConstraint;
+
+// The paper's Fig. 2 toy: min f(x) s.t. x = 2, with x a 2-bit integer
+// x = x0 + 2 x1 and f chosen so the unconstrained minimum is x = 3.
+// With a small P < P_C the penalty method alone lands on the unfeasible
+// minimum; the Lagrange term must shape the landscape until x = 2 wins.
+ConstrainedProblem fig2_toy() {
+  ising::QuboModel f(2);
+  // f(x) = -(x0 + 2 x1): strictly decreasing in x, min at x=3.
+  f.add_linear(0, -1.0);
+  f.add_linear(1, -2.0);
+  LinearConstraint g;  // x0 + 2 x1 - 2 = 0
+  g.terms = {{0, 1.0}, {1, 2.0}};
+  g.rhs = 2.0;
+  return ConstrainedProblem(std::move(f), {g}, 2);
+}
+
+anneal::PBitBackend small_backend(std::size_t sweeps = 200,
+                                  double beta_max = 10.0) {
+  return anneal::PBitBackend(pbit::Schedule::linear(beta_max), sweeps);
+}
+
+TEST(SaimSolver, ClosesGapOnFig2Toy) {
+  const auto problem = fig2_toy();
+  auto backend = small_backend();
+  SaimOptions opts;
+  opts.iterations = 60;
+  opts.eta = 0.3;
+  opts.penalty = 0.4;  // deliberately below the critical value
+  opts.seed = 3;
+  SaimSolver solver(problem, backend, opts);
+  const auto result = solver.solve();
+  ASSERT_TRUE(result.found_feasible);
+  // The only feasible point is x=2 (x0=0,x1=1), cost f = -2.
+  EXPECT_DOUBLE_EQ(result.best_cost, -2.0);
+  ASSERT_EQ(result.best_x.size(), 2u);
+  EXPECT_EQ(result.best_x[0], 0);
+  EXPECT_EQ(result.best_x[1], 1);
+}
+
+TEST(SaimSolver, PenaltyAloneFailsWhereSaimSucceeds) {
+  // Same toy, same tiny P: with eta = 0 (pure penalty method) the minimum
+  // of E is the unfeasible x=3, so the machine rarely if ever samples x=2.
+  const auto problem = fig2_toy();
+  auto backend = small_backend();
+  PenaltyOptions popts;
+  popts.runs = 60;
+  popts.penalty = 0.4;
+  popts.seed = 3;
+  const auto penalty_result =
+      solve_penalty_method(problem, backend, popts);
+  // The pure penalty method with P < P_C concentrates on x=3; it must have
+  // a materially worse feasibility rate than SAIM's (which shapes the
+  // landscape toward x=2).
+  auto backend2 = small_backend();
+  SaimOptions sopts;
+  sopts.iterations = 60;
+  sopts.eta = 0.3;
+  sopts.penalty = 0.4;
+  sopts.seed = 3;
+  SaimSolver saim(problem, backend2, sopts);
+  const auto saim_result = saim.solve();
+  EXPECT_GT(saim_result.feasibility_rate(),
+            penalty_result.feasibility_rate());
+}
+
+TEST(SaimSolver, HeuristicPenaltyAppliedWhenUnset) {
+  const auto inst = problems::make_paper_qkp(20, 50, 1);
+  const auto mapping = problems::qkp_to_problem(inst);
+  auto backend = small_backend();
+  SaimOptions opts;
+  opts.iterations = 1;
+  opts.penalty_alpha = 2.0;
+  SaimSolver solver(mapping.problem, backend, opts);
+  EXPECT_NEAR(solver.penalty(),
+              lagrange::heuristic_penalty(mapping.problem, 2.0), 1e-12);
+}
+
+TEST(SaimSolver, ExplicitPenaltyOverridesHeuristic) {
+  const auto problem = fig2_toy();
+  auto backend = small_backend();
+  SaimOptions opts;
+  opts.iterations = 1;
+  opts.penalty = 7.5;
+  SaimSolver solver(problem, backend, opts);
+  EXPECT_DOUBLE_EQ(solver.penalty(), 7.5);
+}
+
+TEST(SaimSolver, ZeroIterationsThrows) {
+  const auto problem = fig2_toy();
+  auto backend = small_backend();
+  SaimOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW(SaimSolver(problem, backend, opts), std::invalid_argument);
+}
+
+TEST(SaimSolver, HistoryRecordsEveryIteration) {
+  const auto problem = fig2_toy();
+  auto backend = small_backend();
+  SaimOptions opts;
+  opts.iterations = 25;
+  opts.eta = 0.2;
+  opts.penalty = 0.4;
+  opts.record_history = true;
+  SaimSolver solver(problem, backend, opts);
+  const auto result = solver.solve();
+  ASSERT_EQ(result.history.size(), 25u);
+  for (std::size_t k = 0; k < result.history.size(); ++k) {
+    EXPECT_EQ(result.history[k].iteration, k);
+    EXPECT_EQ(result.history[k].lambda.size(), 1u);
+  }
+  // lambda starts at zero and must have moved at some point.
+  EXPECT_DOUBLE_EQ(result.history.front().lambda[0], 0.0);
+  bool moved = false;
+  for (const auto& rec : result.history) {
+    if (rec.lambda[0] != 0.0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(SaimSolver, SweepAccountingMatchesBudget) {
+  const auto problem = fig2_toy();
+  auto backend = small_backend(150);
+  SaimOptions opts;
+  opts.iterations = 20;
+  opts.penalty = 0.4;
+  SaimSolver solver(problem, backend, opts);
+  const auto result = solver.solve();
+  EXPECT_EQ(result.total_runs, 20u);
+  EXPECT_EQ(result.total_sweeps, 20u * 150u);
+}
+
+TEST(SaimSolver, DeterministicPerSeed) {
+  const auto inst = problems::make_paper_qkp(15, 50, 3);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const auto eval = make_qkp_evaluator(inst);
+
+  auto run_once = [&] {
+    auto backend = small_backend(100);
+    SaimOptions opts;
+    opts.iterations = 30;
+    opts.eta = 20.0;
+    opts.seed = 17;
+    SaimSolver solver(mapping.problem, backend, opts);
+    return solver.solve(eval);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.feasible_count, b.feasible_count);
+  EXPECT_EQ(a.best_x, b.best_x);
+}
+
+TEST(SaimSolver, FindsOptimumOnExhaustivelySolvedQkp) {
+  const auto inst = problems::make_paper_qkp(12, 50, 9);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const auto eval = make_qkp_evaluator(inst);
+
+  // Ground truth by enumeration over the 12 decision bits.
+  const auto exact = exact::exhaustive_minimize(
+      inst.n(), [&](std::span<const std::uint8_t> x) {
+        exact::Verdict v;
+        v.feasible = inst.feasible(x);
+        v.cost = static_cast<double>(inst.cost(x));
+        return v;
+      });
+  ASSERT_TRUE(exact.found);
+
+  auto backend = small_backend(300, 10.0);
+  SaimOptions opts;
+  opts.iterations = 150;
+  opts.eta = 20.0;
+  opts.penalty_alpha = 2.0;
+  opts.seed = 9;
+  SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(eval);
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_DOUBLE_EQ(result.best_cost, exact.best_cost);
+}
+
+TEST(SaimSolver, StepRulesProduceDifferentTrajectories) {
+  const auto problem = fig2_toy();
+  auto run_with = [&](StepRule rule) {
+    auto backend = small_backend();
+    SaimOptions opts;
+    opts.iterations = 30;
+    opts.eta = 0.5;
+    opts.penalty = 0.4;
+    opts.seed = 1;
+    opts.step_rule = rule;
+    opts.record_history = true;
+    SaimSolver solver(problem, backend, opts);
+    return solver.solve();
+  };
+  const auto fixed = run_with(StepRule::kFixed);
+  const auto dim = run_with(StepRule::kDiminishing);
+  // Same seed, same first iteration, but the lambda paths must diverge.
+  ASSERT_FALSE(fixed.history.empty());
+  ASSERT_FALSE(dim.history.empty());
+  bool diverged = false;
+  for (std::size_t k = 0; k < fixed.history.size(); ++k) {
+    if (fixed.history[k].lambda != dim.history[k].lambda) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(SaimSolver, EqualityEvaluatorRequiresSlackCompletion) {
+  const auto problem = fig2_toy();
+  const auto eval = make_equality_evaluator(problem);
+  // x=2 encoded as (0,1): g = 0 -> feasible; cost = f = -2.
+  const std::vector<std::uint8_t> feasible = {0, 1};
+  const auto v1 = eval(feasible);
+  EXPECT_TRUE(v1.feasible);
+  EXPECT_DOUBLE_EQ(v1.cost, -2.0);
+  const std::vector<std::uint8_t> infeasible = {1, 1};
+  EXPECT_FALSE(eval(infeasible).feasible);
+}
+
+TEST(SaimSolver, AccuracyMetricMatchesPaperEquation) {
+  // accuracy = 100 c/OPT with negative costs.
+  EXPECT_DOUBLE_EQ(accuracy_percent(-99.0, -100.0), 99.0);
+  EXPECT_DOUBLE_EQ(accuracy_percent(-100.0, -100.0), 100.0);
+  EXPECT_DOUBLE_EQ(accuracy_percent(0.0, -100.0), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy_percent(-50.0, 0.0), 0.0);
+}
+
+TEST(Params, TableOneValues) {
+  const auto qkp = qkp_paper_params();
+  EXPECT_DOUBLE_EQ(qkp.penalty_alpha, 2.0);
+  EXPECT_EQ(qkp.mcs_per_run, 1000u);
+  EXPECT_EQ(qkp.runs, 2000u);
+  EXPECT_DOUBLE_EQ(qkp.beta_max, 10.0);
+  EXPECT_DOUBLE_EQ(qkp.eta, 20.0);
+
+  const auto mkp = mkp_paper_params();
+  EXPECT_DOUBLE_EQ(mkp.penalty_alpha, 5.0);
+  EXPECT_EQ(mkp.mcs_per_run, 1000u);
+  EXPECT_EQ(mkp.runs, 5000u);
+  EXPECT_DOUBLE_EQ(mkp.beta_max, 50.0);
+  EXPECT_DOUBLE_EQ(mkp.eta, 0.05);
+}
+
+}  // namespace
+}  // namespace saim::core

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "exact/exhaustive.hpp"
+#include "exact/knapsack_dp.hpp"
+#include "exact/mkp_branch_bound.hpp"
+#include "problems/mkp.hpp"
+#include "util/rng.hpp"
+
+namespace saim::exact {
+namespace {
+
+TEST(KnapsackDp, TextbookInstance) {
+  const std::vector<std::int64_t> values = {60, 100, 120};
+  const std::vector<std::int64_t> weights = {10, 20, 30};
+  const auto r = solve_knapsack_dp(values, weights, 50);
+  EXPECT_EQ(r.best_profit, 220);
+  EXPECT_EQ(r.selection, (std::vector<std::uint8_t>{0, 1, 1}));
+}
+
+TEST(KnapsackDp, ZeroCapacitySelectsNothing) {
+  const std::vector<std::int64_t> values = {5};
+  const std::vector<std::int64_t> weights = {1};
+  const auto r = solve_knapsack_dp(values, weights, 0);
+  EXPECT_EQ(r.best_profit, 0);
+  EXPECT_EQ(r.selection[0], 0);
+}
+
+TEST(KnapsackDp, OversizedItemsSkipped) {
+  const std::vector<std::int64_t> values = {100, 1};
+  const std::vector<std::int64_t> weights = {50, 1};
+  const auto r = solve_knapsack_dp(values, weights, 10);
+  EXPECT_EQ(r.best_profit, 1);
+}
+
+TEST(KnapsackDp, InvalidInputsThrow) {
+  const std::vector<std::int64_t> v = {1};
+  const std::vector<std::int64_t> w2 = {1, 2};
+  EXPECT_THROW(solve_knapsack_dp(v, w2, 5), std::invalid_argument);
+  const std::vector<std::int64_t> w = {1};
+  EXPECT_THROW(solve_knapsack_dp(v, w, -1), std::invalid_argument);
+  const std::vector<std::int64_t> wneg = {-1};
+  EXPECT_THROW(solve_knapsack_dp(v, wneg, 5), std::invalid_argument);
+}
+
+TEST(KnapsackDp, SelectionIsConsistentWithProfit) {
+  util::Xoshiro256pp rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 12;
+    std::vector<std::int64_t> values(n);
+    std::vector<std::int64_t> weights(n);
+    for (auto& v : values) v = rng.range(1, 50);
+    for (auto& w : weights) w = rng.range(1, 20);
+    const std::int64_t cap = rng.range(10, 80);
+    const auto r = solve_knapsack_dp(values, weights, cap);
+    std::int64_t profit = 0;
+    std::int64_t weight = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (r.selection[i]) {
+        profit += values[i];
+        weight += weights[i];
+      }
+    }
+    EXPECT_EQ(profit, r.best_profit);
+    EXPECT_LE(weight, cap);
+  }
+}
+
+TEST(Exhaustive, FindsKnownMinimum) {
+  // min over 2 bits of cost = -(x0 + 2 x1) with all states feasible.
+  const auto r = exhaustive_minimize(2, [](std::span<const std::uint8_t> x) {
+    Verdict v;
+    v.feasible = true;
+    v.cost = -(static_cast<double>(x[0]) + 2.0 * x[1]);
+    return v;
+  });
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.best_cost, -3.0);
+  EXPECT_EQ(r.best_x, (std::vector<std::uint8_t>{1, 1}));
+  EXPECT_EQ(r.feasible_count, 4u);
+}
+
+TEST(Exhaustive, InfeasibleEverywhere) {
+  const auto r = exhaustive_minimize(3, [](std::span<const std::uint8_t>) {
+    return Verdict{false, 0.0};
+  });
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.feasible_count, 0u);
+}
+
+TEST(Exhaustive, TooManyVariablesThrows) {
+  EXPECT_THROW(
+      exhaustive_minimize(31,
+                          [](std::span<const std::uint8_t>) {
+                            return Verdict{true, 0.0};
+                          }),
+      std::invalid_argument);
+}
+
+// Property: DP equals exhaustive enumeration on random single knapsacks.
+class DpVsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpVsExhaustive, AgreeOnRandomInstances) {
+  util::Xoshiro256pp rng(GetParam());
+  const std::size_t n = 10;
+  std::vector<std::int64_t> values(n);
+  std::vector<std::int64_t> weights(n);
+  for (auto& v : values) v = rng.range(1, 40);
+  for (auto& w : weights) w = rng.range(1, 15);
+  const std::int64_t cap = rng.range(5, 60);
+
+  const auto dp = solve_knapsack_dp(values, weights, cap);
+  const auto ex =
+      exhaustive_minimize(n, [&](std::span<const std::uint8_t> x) {
+        Verdict v;
+        std::int64_t weight = 0;
+        std::int64_t profit = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (x[i]) {
+            weight += weights[i];
+            profit += values[i];
+          }
+        }
+        v.feasible = weight <= cap;
+        v.cost = -static_cast<double>(profit);
+        return v;
+      });
+  ASSERT_TRUE(ex.found);
+  EXPECT_DOUBLE_EQ(-ex.best_cost, static_cast<double>(dp.best_profit));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomKnapsacks, DpVsExhaustive,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(MkpBnb, MatchesDpOnSingleConstraint) {
+  util::Xoshiro256pp rng(5);
+  const std::size_t n = 18;
+  std::vector<std::int64_t> values(n);
+  std::vector<std::int64_t> weights(n);
+  for (auto& v : values) v = rng.range(1, 100);
+  for (auto& w : weights) w = rng.range(1, 30);
+  const std::int64_t cap = 120;
+
+  problems::MkpInstance inst("m1", values, weights, {cap});
+  const auto bnb = solve_mkp_bnb(inst);
+  const auto dp = solve_knapsack_dp(values, weights, cap);
+  EXPECT_TRUE(bnb.proven_optimal);
+  EXPECT_EQ(bnb.best_profit, dp.best_profit);
+}
+
+// Property: B&B equals exhaustive enumeration on random small MKPs.
+class BnbVsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbVsExhaustive, AgreeOnRandomInstances) {
+  problems::MkpGeneratorParams p;
+  p.n = 14;
+  p.m = 3;
+  p.seed = GetParam();
+  p.max_weight = 30;
+  const auto inst = problems::generate_mkp(p);
+
+  const auto bnb = solve_mkp_bnb(inst);
+  ASSERT_TRUE(bnb.proven_optimal);
+
+  const auto ex = exhaustive_minimize(
+      inst.n(), [&](std::span<const std::uint8_t> x) {
+        Verdict v;
+        v.feasible = inst.feasible(x);
+        v.cost = static_cast<double>(inst.cost(x));
+        return v;
+      });
+  ASSERT_TRUE(ex.found);
+  EXPECT_DOUBLE_EQ(static_cast<double>(bnb.best_profit), -ex.best_cost);
+  // The reported selection must be feasible and match the profit.
+  EXPECT_TRUE(inst.feasible(bnb.best_x));
+  EXPECT_EQ(inst.profit(bnb.best_x), bnb.best_profit);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BnbVsExhaustive,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(MkpBnb, NodeBudgetTripsGracefully) {
+  problems::MkpGeneratorParams p;
+  p.n = 60;
+  p.m = 5;
+  p.seed = 3;
+  const auto inst = problems::generate_mkp(p);
+  BnbOptions opts;
+  opts.max_nodes = 1000;  // far too small to finish
+  const auto r = solve_mkp_bnb(inst, opts);
+  EXPECT_FALSE(r.proven_optimal);
+  // Must still return a feasible incumbent (the greedy warm start at worst).
+  EXPECT_TRUE(inst.feasible(r.best_x));
+  EXPECT_GT(r.best_profit, 0);
+}
+
+TEST(MkpBnb, SolvesModerateInstanceExactly) {
+  problems::MkpGeneratorParams p;
+  p.n = 30;
+  p.m = 5;
+  p.seed = 11;
+  const auto inst = problems::generate_mkp(p);
+  const auto r = solve_mkp_bnb(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_TRUE(inst.feasible(r.best_x));
+  EXPECT_EQ(inst.profit(r.best_x), r.best_profit);
+  EXPECT_GT(r.nodes, 0u);
+}
+
+}  // namespace
+}  // namespace saim::exact

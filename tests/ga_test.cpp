@@ -1,0 +1,120 @@
+#include "ga/chu_beasley.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/mkp_branch_bound.hpp"
+#include "heuristics/greedy.hpp"
+
+namespace saim::ga {
+namespace {
+
+problems::MkpInstance test_instance(std::uint64_t seed, std::size_t n = 30,
+                                    std::size_t m = 5) {
+  problems::MkpGeneratorParams p;
+  p.n = n;
+  p.m = m;
+  p.seed = seed;
+  return problems::generate_mkp(p);
+}
+
+TEST(ChuBeasleyGa, BestIsFeasibleAndConsistent) {
+  const auto inst = test_instance(1);
+  GaOptions opts;
+  opts.children = 2000;
+  opts.seed = 3;
+  const auto r = solve_mkp_ga(inst, opts);
+  EXPECT_TRUE(inst.feasible(r.best_x));
+  EXPECT_EQ(inst.profit(r.best_x), r.best_profit);
+  EXPECT_GT(r.children_generated, 0u);
+}
+
+TEST(ChuBeasleyGa, AtLeastMatchesGreedy) {
+  const auto inst = test_instance(2);
+  const auto greedy = heuristics::greedy_mkp(inst);
+  GaOptions opts;
+  opts.children = 3000;
+  const auto r = solve_mkp_ga(inst, opts);
+  EXPECT_GE(r.best_profit, inst.profit(greedy));
+}
+
+TEST(ChuBeasleyGa, DeterministicPerSeed) {
+  const auto inst = test_instance(3);
+  GaOptions opts;
+  opts.children = 1500;
+  opts.seed = 42;
+  const auto a = solve_mkp_ga(inst, opts);
+  const auto b = solve_mkp_ga(inst, opts);
+  EXPECT_EQ(a.best_profit, b.best_profit);
+  EXPECT_EQ(a.best_x, b.best_x);
+}
+
+TEST(ChuBeasleyGa, ReachesOptimumOnSmallInstance) {
+  const auto inst = test_instance(4, 20, 3);
+  const auto exact = exact::solve_mkp_bnb(inst);
+  ASSERT_TRUE(exact.proven_optimal);
+  GaOptions opts;
+  opts.children = 8000;
+  opts.seed = 7;
+  const auto r = solve_mkp_ga(inst, opts);
+  EXPECT_EQ(r.best_profit, exact.best_profit);
+}
+
+TEST(ChuBeasleyGa, HistoryStrideRecordsIncumbents) {
+  const auto inst = test_instance(5);
+  GaOptions opts;
+  opts.children = 1000;
+  opts.history_stride = 100;
+  const auto r = solve_mkp_ga(inst, opts);
+  EXPECT_FALSE(r.history.empty());
+  // Incumbent trace must be monotone non-decreasing.
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_GE(r.history[i], r.history[i - 1]);
+  }
+  EXPECT_EQ(r.history.back(), r.best_profit);
+}
+
+TEST(ChuBeasleyGa, TinyPopulationThrows) {
+  const auto inst = test_instance(6);
+  GaOptions opts;
+  opts.population = 1;
+  EXPECT_THROW(solve_mkp_ga(inst, opts), std::invalid_argument);
+}
+
+TEST(ChuBeasleyGa, LargerBudgetNeverHurts) {
+  const auto inst = test_instance(7, 40, 5);
+  GaOptions small;
+  small.children = 500;
+  small.seed = 9;
+  GaOptions large;
+  large.children = 5000;
+  large.seed = 9;
+  const auto rs = solve_mkp_ga(inst, small);
+  const auto rl = solve_mkp_ga(inst, large);
+  EXPECT_GE(rl.best_profit, rs.best_profit);
+}
+
+// Property sweep: across random instances the GA incumbent is always
+// feasible and sits between greedy and the exact optimum.
+class GaBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaBounds, BetweenGreedyAndOptimal) {
+  const auto inst = test_instance(GetParam(), 22, 4);
+  const auto exact = exact::solve_mkp_bnb(inst);
+  ASSERT_TRUE(exact.proven_optimal);
+  const auto greedy_profit =
+      inst.profit(heuristics::greedy_mkp(inst));
+
+  GaOptions opts;
+  opts.children = 3000;
+  opts.seed = GetParam() * 13 + 1;
+  const auto r = solve_mkp_ga(inst, opts);
+  EXPECT_TRUE(inst.feasible(r.best_x));
+  EXPECT_GE(r.best_profit, greedy_profit);
+  EXPECT_LE(r.best_profit, exact.best_profit);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GaBounds,
+                         ::testing::Range<std::uint64_t>(10, 18));
+
+}  // namespace
+}  // namespace saim::ga

@@ -1,0 +1,137 @@
+#include "heuristics/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/exhaustive.hpp"
+#include "util/rng.hpp"
+
+namespace saim::heuristics {
+namespace {
+
+TEST(GreedyMkp, ProducesFeasibleSelection) {
+  problems::MkpGeneratorParams p;
+  p.n = 50;
+  p.m = 5;
+  p.seed = 1;
+  const auto inst = problems::generate_mkp(p);
+  const auto x = greedy_mkp(inst);
+  EXPECT_TRUE(inst.feasible(x));
+  EXPECT_GT(inst.profit(x), 0);
+}
+
+TEST(GreedyMkp, SelectionIsMaximal) {
+  problems::MkpGeneratorParams p;
+  p.n = 30;
+  p.m = 3;
+  p.seed = 2;
+  const auto inst = problems::generate_mkp(p);
+  auto x = greedy_mkp(inst);
+  // No unselected item can be added without breaking feasibility.
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    if (x[j]) continue;
+    x[j] = 1;
+    EXPECT_FALSE(inst.feasible(x)) << "item " << j << " could be added";
+    x[j] = 0;
+  }
+}
+
+TEST(GreedyQkp, ProducesFeasibleSelection) {
+  problems::QkpGeneratorParams p;
+  p.n = 40;
+  p.density = 0.5;
+  p.seed = 3;
+  const auto inst = problems::generate_qkp(p);
+  const auto x = greedy_qkp(inst);
+  EXPECT_TRUE(inst.feasible(x));
+  EXPECT_GT(inst.profit(x), 0);
+}
+
+TEST(GreedyQkp, NeverBeatsExhaustiveOptimum) {
+  problems::QkpGeneratorParams p;
+  p.n = 12;
+  p.density = 0.5;
+  p.seed = 4;
+  const auto inst = problems::generate_qkp(p);
+  const auto greedy = greedy_qkp(inst);
+  const auto exact = exact::exhaustive_minimize(
+      inst.n(), [&](std::span<const std::uint8_t> x) {
+        exact::Verdict v;
+        v.feasible = inst.feasible(x);
+        v.cost = static_cast<double>(inst.cost(x));
+        return v;
+      });
+  ASSERT_TRUE(exact.found);
+  EXPECT_LE(static_cast<double>(inst.profit(greedy)), -exact.best_cost);
+}
+
+TEST(MkpDensities, ComputedAsValueOverNormalizedWeight) {
+  const problems::MkpInstance inst("t", {10, 20}, {2, 4, 5, 5}, {10, 10});
+  const auto d = mkp_densities(inst);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_NEAR(d[0], 10.0 / (0.2 + 0.5), 1e-12);
+  EXPECT_NEAR(d[1], 20.0 / (0.4 + 0.5), 1e-12);
+}
+
+TEST(RepairMkp, AlreadyFeasibleStaysFeasibleAndBecomesMaximal) {
+  problems::MkpGeneratorParams p;
+  p.n = 25;
+  p.m = 4;
+  p.seed = 5;
+  const auto inst = problems::generate_mkp(p);
+  std::vector<std::uint8_t> x(inst.n(), 0);  // empty selection
+  repair_mkp(inst, x);
+  EXPECT_TRUE(inst.feasible(x));
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    if (x[j]) continue;
+    x[j] = 1;
+    EXPECT_FALSE(inst.feasible(x));
+    x[j] = 0;
+  }
+}
+
+TEST(RepairMkp, FullyOverloadedSelectionIsRepaired) {
+  problems::MkpGeneratorParams p;
+  p.n = 30;
+  p.m = 5;
+  p.seed = 6;
+  const auto inst = problems::generate_mkp(p);
+  std::vector<std::uint8_t> x(inst.n(), 1);  // grossly infeasible
+  repair_mkp(inst, x);
+  EXPECT_TRUE(inst.feasible(x));
+}
+
+// Property: repair always yields feasible selections from random starts.
+class RepairProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RepairProperty, RandomStartsAlwaysRepaired) {
+  problems::MkpGeneratorParams p;
+  p.n = 20;
+  p.m = 3;
+  p.seed = GetParam();
+  const auto inst = problems::generate_mkp(p);
+  util::Xoshiro256pp rng(GetParam() + 99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> x(inst.n());
+    for (auto& b : x) b = rng.bernoulli(0.7) ? 1 : 0;
+    repair_mkp(inst, x);
+    ASSERT_TRUE(inst.feasible(x));
+  }
+}
+
+TEST_P(RepairProperty, RepairNeverRemovesFeasibleProfitEntirely) {
+  problems::MkpGeneratorParams p;
+  p.n = 20;
+  p.m = 3;
+  p.seed = GetParam() + 500;
+  const auto inst = problems::generate_mkp(p);
+  std::vector<std::uint8_t> x(inst.n(), 1);
+  repair_mkp(inst, x);
+  // A maximal repaired selection on these instances always keeps something.
+  EXPECT_GT(inst.profit(x), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, RepairProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace saim::heuristics

@@ -1,0 +1,215 @@
+// End-to-end integration tests: the full pipeline instance -> slack
+// mapping -> Lagrangian -> backend -> SAIM, cross-checked against exact
+// solvers, and the paper's central qualitative claims on downscaled
+// instances:
+//   (1) SAIM reaches the optimum with the small untuned penalty 2dN,
+//   (2) at an equal MCS budget SAIM beats the fixed-small-P penalty method,
+//   (3) the algorithm is backend-agnostic (p-bit / Metropolis SA / PT),
+//   (4) the MKP path handles multiple constraints.
+#include <gtest/gtest.h>
+
+#include "anneal/parallel_tempering.hpp"
+#include "anneal/simulated_annealing.hpp"
+#include "core/penalty_method.hpp"
+#include "core/saim_solver.hpp"
+#include "exact/exhaustive.hpp"
+#include "exact/mkp_branch_bound.hpp"
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+
+namespace saim {
+namespace {
+
+double qkp_exhaustive_opt(const problems::QkpInstance& inst) {
+  const auto r = exact::exhaustive_minimize(
+      inst.n(), [&](std::span<const std::uint8_t> x) {
+        exact::Verdict v;
+        v.feasible = inst.feasible(x);
+        v.cost = static_cast<double>(inst.cost(x));
+        return v;
+      });
+  EXPECT_TRUE(r.found);
+  return r.best_cost;
+}
+
+TEST(Integration, SaimReachesQkpOptimumWithUntunedPenalty) {
+  const auto inst = problems::make_paper_qkp(14, 50, 10);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const double opt = qkp_exhaustive_opt(inst);
+
+  anneal::PBitBackend backend(pbit::Schedule::linear(10.0), 400);
+  core::SaimOptions opts;
+  opts.iterations = 200;
+  opts.eta = 20.0;
+  opts.penalty_alpha = 2.0;  // the paper's untuned 2dN
+  opts.seed = 5;
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(core::make_qkp_evaluator(inst));
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_DOUBLE_EQ(result.best_cost, opt);
+}
+
+TEST(Integration, SaimBeatsPenaltyMethodAtEqualBudget) {
+  // Accumulate over several instances: on average SAIM's best accuracy at
+  // the same total MCS must dominate the fixed-small-P penalty method
+  // (paper Table II, where the gap is ~15 accuracy points).
+  double saim_total = 0.0;
+  double penalty_total = 0.0;
+  for (int index = 1; index <= 3; ++index) {
+    const auto inst = problems::make_paper_qkp(14, 50, index);
+    const auto mapping = problems::qkp_to_problem(inst);
+    const double opt = qkp_exhaustive_opt(inst);
+    const auto eval = core::make_qkp_evaluator(inst);
+
+    anneal::PBitBackend backend1(pbit::Schedule::linear(10.0), 200);
+    core::SaimOptions sopts;
+    sopts.iterations = 120;
+    sopts.eta = 20.0;
+    sopts.penalty_alpha = 2.0;
+    sopts.seed = 31;
+    core::SaimSolver saim(mapping.problem, backend1, sopts);
+    const auto saim_result = saim.solve(eval);
+
+    anneal::PBitBackend backend2(pbit::Schedule::linear(10.0), 200);
+    core::PenaltyOptions popts;
+    popts.runs = 120;  // identical run count and MCS per run
+    popts.penalty_alpha = 2.0;
+    popts.seed = 31;
+    const auto penalty_result =
+        core::solve_penalty_method(mapping.problem, backend2, popts, eval);
+
+    saim_total += saim_result.found_feasible
+                      ? core::accuracy_percent(saim_result.best_cost, opt)
+                      : 0.0;
+    penalty_total +=
+        penalty_result.found_feasible
+            ? core::accuracy_percent(penalty_result.best_cost, opt)
+            : 0.0;
+  }
+  EXPECT_GT(saim_total, penalty_total);
+  EXPECT_GT(saim_total / 3.0, 95.0);  // SAIM should be near-optimal
+}
+
+TEST(Integration, BackendAgnosticMetropolisSa) {
+  const auto inst = problems::make_paper_qkp(12, 50, 9);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const double opt = qkp_exhaustive_opt(inst);
+
+  anneal::MetropolisSaBackend backend(pbit::Schedule::linear(10.0), 300);
+  core::SaimOptions opts;
+  opts.iterations = 150;
+  opts.eta = 20.0;
+  opts.seed = 8;
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(core::make_qkp_evaluator(inst));
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_GE(core::accuracy_percent(result.best_cost, opt), 99.0);
+}
+
+TEST(Integration, BackendAgnosticParallelTempering) {
+  const auto inst = problems::make_paper_qkp(12, 50, 2);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const double opt = qkp_exhaustive_opt(inst);
+
+  anneal::PtOptions pt;
+  pt.replicas = 6;
+  pt.beta_min = 0.5;
+  pt.beta_max = 20.0;
+  pt.sweeps = 100;
+  anneal::ParallelTemperingBackend backend(pt);
+  core::SaimOptions opts;
+  opts.iterations = 80;
+  opts.eta = 20.0;
+  opts.seed = 4;
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(core::make_qkp_evaluator(inst));
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_GE(core::accuracy_percent(result.best_cost, opt), 99.0);
+}
+
+TEST(Integration, MkpMultiConstraintReachesBnbOptimum) {
+  problems::MkpGeneratorParams p;
+  p.n = 16;
+  p.m = 3;
+  p.seed = 21;
+  const auto inst = problems::generate_mkp(p);
+  const auto exact = exact::solve_mkp_bnb(inst);
+  ASSERT_TRUE(exact.proven_optimal);
+
+  const auto mapping = problems::mkp_to_problem(inst);
+  anneal::PBitBackend backend(pbit::Schedule::linear(50.0), 400);
+  core::SaimOptions opts;
+  opts.iterations = 300;
+  opts.eta = 0.05;  // the paper's MKP eta
+  opts.penalty_alpha = 5.0;
+  opts.seed = 12;
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(core::make_mkp_evaluator(inst));
+  ASSERT_TRUE(result.found_feasible);
+  const double accuracy = core::accuracy_percent(
+      result.best_cost, -static_cast<double>(exact.best_profit));
+  EXPECT_GE(accuracy, 98.0);
+}
+
+TEST(Integration, LambdaStabilizesOnMkp) {
+  // Fig. 5b behaviour: multipliers grow from 0 and then level off.
+  problems::MkpGeneratorParams p;
+  p.n = 14;
+  p.m = 2;
+  p.seed = 33;
+  const auto inst = problems::generate_mkp(p);
+  const auto mapping = problems::mkp_to_problem(inst);
+
+  anneal::PBitBackend backend(pbit::Schedule::linear(50.0), 200);
+  core::SaimOptions opts;
+  opts.iterations = 200;
+  opts.eta = 0.05;
+  opts.penalty_alpha = 5.0;
+  opts.seed = 3;
+  opts.record_history = true;
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(core::make_mkp_evaluator(inst));
+  ASSERT_EQ(result.history.size(), 200u);
+
+  // Compare the average |lambda change| over the first and last quarters:
+  // the dynamics must have slowed down markedly.
+  auto avg_step = [&](std::size_t from, std::size_t to) {
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t k = from + 1; k < to; ++k) {
+      for (std::size_t m = 0; m < result.history[k].lambda.size(); ++m) {
+        acc += std::abs(result.history[k].lambda[m] -
+                        result.history[k - 1].lambda[m]);
+      }
+      ++count;
+    }
+    return count ? acc / static_cast<double>(count) : 0.0;
+  };
+  const double early = avg_step(0, 50);
+  const double late = avg_step(150, 200);
+  EXPECT_LT(late, early);
+}
+
+TEST(Integration, FeasiblePoolStatsAreConsistent) {
+  const auto inst = problems::make_paper_qkp(12, 25, 2);
+  const auto mapping = problems::qkp_to_problem(inst);
+  anneal::PBitBackend backend(pbit::Schedule::linear(10.0), 200);
+  core::SaimOptions opts;
+  opts.iterations = 100;
+  opts.eta = 20.0;
+  opts.seed = 2;
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(core::make_qkp_evaluator(inst));
+
+  EXPECT_EQ(result.feasible_count, result.feasible_cost_stats.count());
+  if (result.found_feasible) {
+    EXPECT_DOUBLE_EQ(result.best_cost, result.feasible_cost_stats.min());
+    // The reported best_x must actually be feasible with that cost.
+    EXPECT_TRUE(inst.feasible(result.best_x));
+    EXPECT_EQ(static_cast<double>(inst.cost(result.best_x)),
+              result.best_cost);
+  }
+}
+
+}  // namespace
+}  // namespace saim

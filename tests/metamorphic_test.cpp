@@ -1,0 +1,197 @@
+// Metamorphic properties: transformations of an instance with a known
+// effect on the solution set. These catch sign slips, scaling errors and
+// indexing bugs that single-instance unit tests can miss.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exact/exhaustive.hpp"
+#include "exact/knapsack_dp.hpp"
+#include "exact/mkp_branch_bound.hpp"
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+#include "util/rng.hpp"
+
+namespace saim {
+namespace {
+
+exact::ExhaustiveResult solve_qkp_exhaustive(
+    const problems::QkpInstance& inst) {
+  return exact::exhaustive_minimize(
+      inst.n(), [&](std::span<const std::uint8_t> x) {
+        exact::Verdict v;
+        v.feasible = inst.feasible(x);
+        v.cost = static_cast<double>(inst.cost(x));
+        return v;
+      });
+}
+
+class QkpMetamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QkpMetamorphic, ScalingObjectiveScalesOptimum) {
+  problems::QkpGeneratorParams p;
+  p.n = 10;
+  p.density = 0.5;
+  p.seed = GetParam();
+  const auto inst = problems::generate_qkp(p);
+
+  const std::size_t n = inst.n();
+  std::vector<std::int64_t> values(n);
+  std::vector<std::int64_t> pairs(n * n);
+  std::vector<std::int64_t> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = 3 * inst.value(i);
+    weights[i] = inst.weight(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      pairs[i * n + j] = 3 * inst.pair_value(i, j);
+    }
+  }
+  const problems::QkpInstance scaled("scaled", values, pairs, weights,
+                                     inst.capacity());
+  const auto base = solve_qkp_exhaustive(inst);
+  const auto tripled = solve_qkp_exhaustive(scaled);
+  ASSERT_TRUE(base.found);
+  EXPECT_DOUBLE_EQ(tripled.best_cost, 3.0 * base.best_cost);
+}
+
+TEST_P(QkpMetamorphic, LargerCapacityNeverHurts) {
+  problems::QkpGeneratorParams p;
+  p.n = 10;
+  p.density = 0.5;
+  p.seed = GetParam() + 100;
+  const auto inst = problems::generate_qkp(p);
+
+  const std::size_t n = inst.n();
+  std::vector<std::int64_t> values(n);
+  std::vector<std::int64_t> pairs(n * n);
+  std::vector<std::int64_t> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = inst.value(i);
+    weights[i] = inst.weight(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      pairs[i * n + j] = inst.pair_value(i, j);
+    }
+  }
+  const problems::QkpInstance roomier("roomier", values, pairs, weights,
+                                      inst.capacity() + 25);
+  const auto base = solve_qkp_exhaustive(inst);
+  const auto more = solve_qkp_exhaustive(roomier);
+  // Minimization: more capacity -> cost can only go down or stay.
+  EXPECT_LE(more.best_cost, base.best_cost);
+  // And the feasible set only grows.
+  EXPECT_GE(more.feasible_count, base.feasible_count);
+}
+
+TEST_P(QkpMetamorphic, SlackExtendedFeasibleSetMatchesRawInequality) {
+  // Projecting the slack-extended equality system's feasible set onto the
+  // decision bits must equal the raw { x : a.x <= b } set.
+  problems::QkpGeneratorParams p;
+  p.n = 6;
+  p.density = 0.6;
+  p.seed = GetParam() + 200;
+  p.max_weight = 6;  // keep the slack register small: total <= ~22 bits
+  auto inst = problems::generate_qkp(p);
+  const auto mapping = problems::qkp_to_problem(inst);
+  const std::size_t total = mapping.problem.n();
+  ASSERT_LE(total, 22u);
+
+  std::set<std::uint64_t> raw_feasible;
+  for (std::uint64_t code = 0; code < (1ULL << inst.n()); ++code) {
+    std::vector<std::uint8_t> x(inst.n());
+    for (std::size_t i = 0; i < inst.n(); ++i) {
+      x[i] = static_cast<std::uint8_t>((code >> i) & 1ULL);
+    }
+    if (inst.feasible(x)) raw_feasible.insert(code);
+  }
+
+  std::set<std::uint64_t> projected;
+  for (std::uint64_t code = 0; code < (1ULL << total); ++code) {
+    std::vector<std::uint8_t> x(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      x[i] = static_cast<std::uint8_t>((code >> i) & 1ULL);
+    }
+    if (mapping.problem.max_violation(x) <= 1e-9) {
+      projected.insert(code & ((1ULL << inst.n()) - 1));
+    }
+  }
+  EXPECT_EQ(projected, raw_feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QkpMetamorphic,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+class MkpMetamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MkpMetamorphic, ItemPermutationPermutesSolution) {
+  problems::MkpGeneratorParams p;
+  p.n = 16;
+  p.m = 3;
+  p.seed = GetParam();
+  const auto inst = problems::generate_mkp(p);
+
+  // Reverse item order.
+  const std::size_t n = inst.n();
+  std::vector<std::int64_t> values(n);
+  std::vector<std::int64_t> weights(inst.m() * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    values[j] = inst.value(n - 1 - j);
+    for (std::size_t i = 0; i < inst.m(); ++i) {
+      weights[i * n + j] = inst.weight(i, n - 1 - j);
+    }
+  }
+  const problems::MkpInstance reversed(
+      "rev", values, weights,
+      {inst.capacities().begin(), inst.capacities().end()});
+
+  const auto a = exact::solve_mkp_bnb(inst);
+  const auto b = exact::solve_mkp_bnb(reversed);
+  ASSERT_TRUE(a.proven_optimal);
+  ASSERT_TRUE(b.proven_optimal);
+  EXPECT_EQ(a.best_profit, b.best_profit);
+}
+
+TEST_P(MkpMetamorphic, DroppingAConstraintNeverHurts) {
+  problems::MkpGeneratorParams p;
+  p.n = 18;
+  p.m = 3;
+  p.seed = GetParam() + 50;
+  const auto inst = problems::generate_mkp(p);
+
+  // Remove the last knapsack.
+  std::vector<std::int64_t> weights;
+  for (std::size_t i = 0; i + 1 < inst.m(); ++i) {
+    const auto row = inst.weight_row(i);
+    weights.insert(weights.end(), row.begin(), row.end());
+  }
+  const problems::MkpInstance relaxed(
+      "relaxed", {inst.values().begin(), inst.values().end()},
+      std::move(weights),
+      {inst.capacities().begin(), inst.capacities().end() - 1});
+
+  const auto full = exact::solve_mkp_bnb(inst);
+  const auto fewer = exact::solve_mkp_bnb(relaxed);
+  ASSERT_TRUE(full.proven_optimal);
+  ASSERT_TRUE(fewer.proven_optimal);
+  EXPECT_GE(fewer.best_profit, full.best_profit);
+}
+
+TEST_P(MkpMetamorphic, SingleConstraintMkpEqualsKnapsackDp) {
+  problems::MkpGeneratorParams p;
+  p.n = 20;
+  p.m = 1;
+  p.seed = GetParam() + 90;
+  p.max_weight = 50;
+  const auto inst = problems::generate_mkp(p);
+  const auto bnb = exact::solve_mkp_bnb(inst);
+  ASSERT_TRUE(bnb.proven_optimal);
+  const auto row = inst.weight_row(0);
+  const auto dp = exact::solve_knapsack_dp(
+      inst.values(), row, inst.capacity(0));
+  EXPECT_EQ(bnb.best_profit, dp.best_profit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MkpMetamorphic,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace saim

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/multi_start.hpp"
+#include "core/penalty_method.hpp"
+#include "exact/exhaustive.hpp"
+#include "pbit/diagnostics.hpp"
+#include "problems/qkp.hpp"
+
+namespace saim {
+namespace {
+
+core::BackendFactory pbit_factory(std::size_t sweeps = 200) {
+  return [sweeps] {
+    return std::make_unique<anneal::PBitBackend>(
+        pbit::Schedule::linear(10.0), sweeps);
+  };
+}
+
+TEST(MultiStart, AggregatesAcrossRestarts) {
+  const auto inst = problems::make_paper_qkp(12, 50, 9);
+  const auto mapping = problems::qkp_to_problem(inst);
+  core::SaimOptions opts;
+  opts.iterations = 40;
+  opts.eta = 20.0;
+  core::MultiStartOptions multi;
+  multi.restarts = 4;
+  multi.seed = 7;
+  const auto result = core::multi_start_saim(
+      mapping.problem, pbit_factory(), opts, multi,
+      core::make_qkp_evaluator(inst));
+  EXPECT_EQ(result.total_sweeps, 4u * 40u * 200u);
+  ASSERT_TRUE(result.any_feasible());
+  EXPECT_EQ(result.restart_best_costs.count(), result.feasible_restarts);
+  EXPECT_DOUBLE_EQ(result.best.best_cost, result.restart_best_costs.min());
+}
+
+TEST(MultiStart, BestRestartNeverWorseThanSingle) {
+  const auto inst = problems::make_paper_qkp(12, 25, 3);
+  const auto mapping = problems::qkp_to_problem(inst);
+  core::SaimOptions opts;
+  opts.iterations = 30;
+  opts.eta = 20.0;
+
+  core::MultiStartOptions one;
+  one.restarts = 1;
+  one.seed = 5;
+  const auto single = core::multi_start_saim(mapping.problem, pbit_factory(),
+                                             opts, one,
+                                             core::make_qkp_evaluator(inst));
+  core::MultiStartOptions many;
+  many.restarts = 6;
+  many.seed = 5;  // restart 0 identical to `single`
+  const auto multi = core::multi_start_saim(mapping.problem, pbit_factory(),
+                                            opts, many,
+                                            core::make_qkp_evaluator(inst));
+  ASSERT_TRUE(single.any_feasible());
+  ASSERT_TRUE(multi.any_feasible());
+  EXPECT_LE(multi.best.best_cost, single.best.best_cost);
+}
+
+TEST(MultiStart, DeterministicGivenMasterSeed) {
+  const auto inst = problems::make_paper_qkp(10, 50, 2);
+  const auto mapping = problems::qkp_to_problem(inst);
+  core::SaimOptions opts;
+  opts.iterations = 25;
+  opts.eta = 20.0;
+  core::MultiStartOptions multi;
+  multi.restarts = 3;
+  multi.seed = 99;
+  const auto a = core::multi_start_saim(mapping.problem, pbit_factory(),
+                                        opts, multi,
+                                        core::make_qkp_evaluator(inst));
+  const auto b = core::multi_start_saim(mapping.problem, pbit_factory(),
+                                        opts, multi,
+                                        core::make_qkp_evaluator(inst));
+  EXPECT_EQ(a.best.best_cost, b.best.best_cost);
+  EXPECT_EQ(a.best_restart, b.best_restart);
+}
+
+TEST(MultiStart, InvalidArgumentsThrow) {
+  const auto inst = problems::make_paper_qkp(10, 50, 2);
+  const auto mapping = problems::qkp_to_problem(inst);
+  core::SaimOptions opts;
+  core::MultiStartOptions zero;
+  zero.restarts = 0;
+  EXPECT_THROW(core::multi_start_saim(mapping.problem, pbit_factory(), opts,
+                                      zero),
+               std::invalid_argument);
+  core::MultiStartOptions ok;
+  EXPECT_THROW(core::multi_start_saim(mapping.problem, nullptr, opts, ok),
+               std::invalid_argument);
+}
+
+TEST(Diagnostics, MagnetizationBasics) {
+  EXPECT_DOUBLE_EQ(pbit::magnetization(ising::Spins{1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(pbit::magnetization(ising::Spins{1, -1, 1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(pbit::magnetization(ising::Spins{}), 0.0);
+}
+
+TEST(Diagnostics, AutocorrelationOfConstantIsZeroByConvention) {
+  const std::vector<double> flat(50, 3.0);
+  EXPECT_DOUBLE_EQ(pbit::autocorrelation(flat, 1), 0.0);
+  EXPECT_DOUBLE_EQ(pbit::integrated_autocorrelation_time(flat), 1.0);
+}
+
+TEST(Diagnostics, AutocorrelationLagZeroIsOne) {
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(std::sin(0.3 * i));
+  EXPECT_NEAR(pbit::autocorrelation(series, 0), 1.0, 1e-12);
+}
+
+TEST(Diagnostics, AlternatingSeriesHasNegativeLagOneCorrelation) {
+  std::vector<double> series;
+  for (int i = 0; i < 200; ++i) series.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_LT(pbit::autocorrelation(series, 1), -0.9);
+}
+
+TEST(Diagnostics, PersistentSeriesHasLargerTauThanNoise) {
+  // Strongly autocorrelated AR(1) vs white noise: tau must rank them.
+  util::Xoshiro256pp rng(3);
+  std::vector<double> ar1;
+  std::vector<double> white;
+  double state = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    state = 0.95 * state + rng.uniform_sym();
+    ar1.push_back(state);
+    white.push_back(rng.uniform_sym());
+  }
+  const double tau_ar1 = pbit::integrated_autocorrelation_time(ar1);
+  const double tau_white = pbit::integrated_autocorrelation_time(white);
+  EXPECT_GT(tau_ar1, 5.0 * tau_white);
+  EXPECT_NEAR(tau_white, 1.0, 0.5);
+}
+
+TEST(Diagnostics, EquilibrationReportOnSmallFerromagnet) {
+  ising::IsingModel model(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) model.add_coupling(i, j, 1.0);
+  }
+  pbit::PBitMachine machine(model);
+  util::Xoshiro256pp rng(7);
+  const auto report =
+      pbit::diagnose_equilibration(machine, model, 2.0, 500, 2000, rng);
+  EXPECT_EQ(report.energy_trace.size(), 2000u);
+  EXPECT_GE(report.tau, 1.0);
+  // At beta=2 this ferromagnet is deep in the ordered phase.
+  EXPECT_GT(report.mean_abs_magnetization, 0.9);
+  EXPECT_LT(report.mean_energy, -10.0);
+}
+
+}  // namespace
+}  // namespace saim

@@ -1,0 +1,140 @@
+// Statistical validation of the p-bit machine's core physics claim
+// (paper eq. 11): sequentially updated p-bits sample the Boltzmann
+// distribution P{m} ∝ exp(-beta H{m}). We histogram long Gibbs runs on
+// exhaustively-enumerable systems and compare to the exact distribution
+// with a chi-square test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "pbit/pbit_machine.hpp"
+
+namespace saim::pbit {
+namespace {
+
+std::size_t state_code(const ising::Spins& m) {
+  std::size_t code = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] > 0) code |= (1u << i);
+  }
+  return code;
+}
+
+ising::Spins code_state(std::size_t code, std::size_t n) {
+  ising::Spins m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = (code >> i) & 1u ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return m;
+}
+
+/// Chi-square statistic between empirical counts and the exact Boltzmann
+/// probabilities of `model` at inverse temperature beta.
+double boltzmann_chi_square(const ising::IsingModel& model, double beta,
+                            std::size_t samples, std::uint64_t seed,
+                            std::size_t burn_in = 2000) {
+  const std::size_t n = model.n();
+  const std::size_t states = 1u << n;
+
+  std::vector<double> weight(states);
+  double z = 0.0;
+  for (std::size_t code = 0; code < states; ++code) {
+    weight[code] = std::exp(-beta * model.energy(code_state(code, n)));
+    z += weight[code];
+  }
+
+  std::vector<std::size_t> counts(states, 0);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(seed);
+  machine.sample(beta, burn_in, samples, rng,
+                 [&](const ising::Spins& m) { ++counts[state_code(m)]; });
+
+  double chi2 = 0.0;
+  for (std::size_t code = 0; code < states; ++code) {
+    const double expected = static_cast<double>(samples) * weight[code] / z;
+    if (expected < 1e-9) continue;
+    const double d = static_cast<double>(counts[code]) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+TEST(Boltzmann, SingleSpinWithField) {
+  // P(m=+1) = e^{beta h} / (e^{beta h} + e^{-beta h}).
+  ising::IsingModel model(1);
+  model.add_field(0, 0.8);
+  const double beta = 1.0;
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(1);
+  std::size_t ups = 0;
+  const std::size_t samples = 200000;
+  machine.sample(beta, 100, samples, rng, [&](const ising::Spins& m) {
+    if (m[0] == 1) ++ups;
+  });
+  const double expected =
+      std::exp(beta * 0.8) / (std::exp(beta * 0.8) + std::exp(-beta * 0.8));
+  EXPECT_NEAR(static_cast<double>(ups) / samples, expected, 0.01);
+}
+
+TEST(Boltzmann, TwoSpinFerromagnetChiSquare) {
+  ising::IsingModel model(2);
+  model.add_coupling(0, 1, 1.0);
+  // 3 dof; 99.9th percentile ~ 16.3. Use a generous threshold to keep the
+  // test robust while still catching gross sampler bugs.
+  EXPECT_LT(boltzmann_chi_square(model, 0.7, 150000, 11), 25.0);
+}
+
+TEST(Boltzmann, ThreeSpinFrustratedTriangleChiSquare) {
+  // Antiferromagnetic triangle: 6 degenerate ground states — a classic
+  // trap for broken samplers that lose ergodicity.
+  ising::IsingModel model(3);
+  model.add_coupling(0, 1, -1.0);
+  model.add_coupling(1, 2, -1.0);
+  model.add_coupling(0, 2, -1.0);
+  // 7 dof; 99.9th percentile ~ 24.3.
+  EXPECT_LT(boltzmann_chi_square(model, 0.6, 200000, 13), 32.0);
+}
+
+TEST(Boltzmann, FieldsAndCouplingsMixedChiSquare) {
+  ising::IsingModel model(3);
+  model.add_coupling(0, 1, 0.5);
+  model.add_coupling(1, 2, -0.3);
+  model.add_field(0, 0.4);
+  model.add_field(2, -0.6);
+  EXPECT_LT(boltzmann_chi_square(model, 0.8, 200000, 17), 32.0);
+}
+
+TEST(Boltzmann, HighBetaConcentratesOnGroundStates) {
+  ising::IsingModel model(3);
+  model.add_coupling(0, 1, 1.0);
+  model.add_coupling(1, 2, 1.0);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(19);
+  std::size_t ground = 0;
+  const std::size_t samples = 20000;
+  machine.sample(5.0, 2000, samples, rng, [&](const ising::Spins& m) {
+    if (m[0] == m[1] && m[1] == m[2]) ++ground;
+  });
+  EXPECT_GT(static_cast<double>(ground) / samples, 0.99);
+}
+
+// Parameterized sweep over temperatures for a fixed 2-spin system: the
+// sampler must match Boltzmann at hot, warm and cold temperatures alike.
+class BoltzmannTemperatureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoltzmannTemperatureSweep, TwoSpinWithFieldMatches) {
+  ising::IsingModel model(2);
+  model.add_coupling(0, 1, 0.8);
+  model.add_field(0, -0.3);
+  const double beta = GetParam();
+  EXPECT_LT(boltzmann_chi_square(model, beta, 120000, 23), 25.0)
+      << "beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BoltzmannTemperatureSweep,
+                         ::testing::Values(0.2, 0.5, 1.0, 1.5));
+
+}  // namespace
+}  // namespace saim::pbit

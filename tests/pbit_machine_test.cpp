@@ -1,0 +1,164 @@
+#include "pbit/pbit_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace saim::pbit {
+namespace {
+
+// Small frustrated-free ferromagnet: annealing must find the aligned
+// ground states.
+ising::IsingModel ferromagnet(std::size_t n, double j = 1.0) {
+  ising::IsingModel ising(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k < n; ++k) {
+      ising.add_coupling(i, k, j);
+    }
+  }
+  return ising;
+}
+
+TEST(PBitMachine, RandomStateIsDeterministicPerSeed) {
+  const auto model = ferromagnet(10);
+  PBitMachine machine(model);
+  util::Xoshiro256pp a(5);
+  util::Xoshiro256pp b(5);
+  EXPECT_EQ(machine.random_state(a), machine.random_state(b));
+}
+
+TEST(PBitMachine, RandomStateHasValidSpins) {
+  const auto model = ferromagnet(50);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(1);
+  const auto m = machine.random_state(rng);
+  for (const auto s : m) {
+    EXPECT_TRUE(s == 1 || s == -1);
+  }
+}
+
+TEST(PBitMachine, AnnealFindsFerromagnetGroundState) {
+  const auto model = ferromagnet(12);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(42);
+  AnnealOptions opts;
+  opts.sweeps = 300;
+  const auto result = machine.anneal(Schedule::linear(5.0), opts, rng);
+  // Ground state energy: all aligned, -C(12,2) = -66.
+  EXPECT_DOUBLE_EQ(result.last_energy, -66.0);
+  EXPECT_DOUBLE_EQ(model.energy(result.last), -66.0);
+}
+
+TEST(PBitMachine, ReportedEnergyMatchesState) {
+  // The incrementally-tracked energy must equal a fresh recomputation.
+  ising::IsingModel model(8);
+  model.add_coupling(0, 1, -1.0);
+  model.add_coupling(2, 3, 2.0);
+  model.add_field(4, 0.7);
+  model.add_field(5, -0.3);
+  model.add_offset(1.5);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(7);
+  AnnealOptions opts;
+  opts.sweeps = 50;
+  const auto result = machine.anneal(Schedule::linear(2.0), opts, rng);
+  EXPECT_NEAR(result.last_energy, model.energy(result.last), 1e-9);
+}
+
+TEST(PBitMachine, TrackBestNeverWorseThanLast) {
+  const auto model = ferromagnet(10);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(3);
+  AnnealOptions opts;
+  opts.sweeps = 100;
+  opts.track_best = true;
+  const auto result = machine.anneal(Schedule::linear(3.0), opts, rng);
+  EXPECT_LE(result.best_energy, result.last_energy);
+  EXPECT_NEAR(model.energy(result.best), result.best_energy, 1e-9);
+}
+
+TEST(PBitMachine, FieldBiasesSpins) {
+  // Strong positive field on every spin: at high beta all spins go +1.
+  ising::IsingModel model(6);
+  for (std::size_t i = 0; i < 6; ++i) model.add_field(i, 5.0);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(11);
+  AnnealOptions opts;
+  opts.sweeps = 100;
+  const auto result = machine.anneal(Schedule::linear(10.0), opts, rng);
+  for (const auto s : result.last) {
+    EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(PBitMachine, AnnealFromContinuesGivenState) {
+  const auto model = ferromagnet(8);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(9);
+  ising::Spins start(8, std::int8_t{1});  // already the ground state
+  AnnealOptions opts;
+  opts.sweeps = 50;
+  // At high fixed beta the machine must stay in the ground state.
+  const auto result =
+      machine.anneal_from(start, Schedule::constant(20.0), opts, rng);
+  EXPECT_DOUBLE_EQ(result.last_energy, model.energy(start));
+}
+
+TEST(PBitMachine, SweepOrderVariantsAllReachGroundState) {
+  const auto model = ferromagnet(10);
+  PBitMachine machine(model);
+  for (const auto order :
+       {SweepOrder::kSequential, SweepOrder::kRandomPermutation,
+        SweepOrder::kRandomUniform}) {
+    util::Xoshiro256pp rng(21);
+    AnnealOptions opts;
+    opts.sweeps = 400;
+    opts.order = order;
+    const auto result = machine.anneal(Schedule::linear(5.0), opts, rng);
+    EXPECT_DOUBLE_EQ(result.last_energy, -45.0)
+        << "order=" << static_cast<int>(order);
+  }
+}
+
+TEST(PBitMachine, SampleInvokesObserverExactly) {
+  const auto model = ferromagnet(4);
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(2);
+  std::size_t calls = 0;
+  machine.sample(1.0, 10, 25, rng, [&](const ising::Spins& m) {
+    EXPECT_EQ(m.size(), 4u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 25u);
+}
+
+TEST(PBitMachine, ZeroBetaIsUnbiasedCoinFlips) {
+  // At beta=0, tanh(0)=0 and each p-bit is a fair coin regardless of input.
+  ising::IsingModel model(1);
+  model.add_field(0, 100.0);  // huge field must not matter at beta=0
+  PBitMachine machine(model);
+  util::Xoshiro256pp rng(31);
+  std::size_t ups = 0;
+  const std::size_t samples = 20000;
+  machine.sample(0.0, 0, samples, rng, [&](const ising::Spins& m) {
+    if (m[0] == 1) ++ups;
+  });
+  const double frac = static_cast<double>(ups) / samples;
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(PBitMachine, DeterministicGivenSeed) {
+  const auto model = ferromagnet(10);
+  PBitMachine machine(model);
+  util::Xoshiro256pp a(77);
+  util::Xoshiro256pp b(77);
+  AnnealOptions opts;
+  opts.sweeps = 60;
+  const auto ra = machine.anneal(Schedule::linear(2.0), opts, a);
+  const auto rb = machine.anneal(Schedule::linear(2.0), opts, b);
+  EXPECT_EQ(ra.last, rb.last);
+  EXPECT_DOUBLE_EQ(ra.last_energy, rb.last_energy);
+}
+
+}  // namespace
+}  // namespace saim::pbit

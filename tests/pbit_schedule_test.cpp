@@ -1,0 +1,78 @@
+#include "pbit/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saim::pbit {
+namespace {
+
+TEST(Schedule, LinearEndpoints) {
+  const Schedule s = Schedule::linear(10.0);
+  EXPECT_DOUBLE_EQ(s.beta(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(s.beta(99, 100), 10.0);
+}
+
+TEST(Schedule, LinearMidpoint) {
+  const Schedule s = Schedule::linear(10.0);
+  EXPECT_NEAR(s.beta(50, 101), 5.0, 1e-12);
+}
+
+TEST(Schedule, LinearWithNonzeroStart) {
+  const Schedule s = Schedule::linear(8.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.beta(0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(s.beta(3, 4), 8.0);
+}
+
+TEST(Schedule, LinearIsMonotone) {
+  const Schedule s = Schedule::linear(50.0);
+  double prev = -1.0;
+  for (std::size_t t = 0; t < 200; ++t) {
+    const double b = s.beta(t, 200);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Schedule, GeometricEndpoints) {
+  const Schedule s = Schedule::geometric(0.1, 10.0);
+  EXPECT_NEAR(s.beta(0, 50), 0.1, 1e-12);
+  EXPECT_NEAR(s.beta(49, 50), 10.0, 1e-9);
+}
+
+TEST(Schedule, GeometricMidpointIsGeometricMean) {
+  const Schedule s = Schedule::geometric(1.0, 100.0);
+  EXPECT_NEAR(s.beta(50, 101), 10.0, 1e-9);
+}
+
+TEST(Schedule, ConstantIgnoresTime) {
+  const Schedule s = Schedule::constant(3.0);
+  EXPECT_DOUBLE_EQ(s.beta(0, 10), 3.0);
+  EXPECT_DOUBLE_EQ(s.beta(9, 10), 3.0);
+}
+
+TEST(Schedule, SingleSweepYieldsFinalBeta) {
+  EXPECT_DOUBLE_EQ(Schedule::linear(10.0).beta(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(Schedule::geometric(0.5, 4.0).beta(0, 1), 4.0);
+}
+
+TEST(Schedule, ClampsPastEnd) {
+  const Schedule s = Schedule::linear(10.0);
+  EXPECT_DOUBLE_EQ(s.beta(500, 100), 10.0);
+}
+
+TEST(Schedule, InvalidArgumentsThrow) {
+  EXPECT_THROW(Schedule::linear(1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(Schedule::geometric(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Schedule::geometric(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Schedule::constant(-1.0), std::invalid_argument);
+}
+
+TEST(Schedule, KindAccessors) {
+  EXPECT_EQ(Schedule::linear(1.0).kind(), Schedule::Kind::kLinear);
+  EXPECT_EQ(Schedule::geometric(0.1, 1.0).kind(), Schedule::Kind::kGeometric);
+  EXPECT_EQ(Schedule::constant(1.0).kind(), Schedule::Kind::kConstant);
+  EXPECT_DOUBLE_EQ(Schedule::linear(7.0, 1.0).beta_start(), 1.0);
+  EXPECT_DOUBLE_EQ(Schedule::linear(7.0, 1.0).beta_end(), 7.0);
+}
+
+}  // namespace
+}  // namespace saim::pbit

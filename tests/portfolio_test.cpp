@@ -1,0 +1,178 @@
+#include "problems/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anneal/backend.hpp"
+#include "core/saim_solver.hpp"
+#include "exact/exhaustive.hpp"
+#include "util/rng.hpp"
+
+namespace saim::problems {
+namespace {
+
+PortfolioInstance tiny_instance() {
+  // 3 assets; Sigma diagonal {0.04, 0.01, 0.09} plus rho(0,1)=0.01.
+  return PortfolioInstance(
+      "tiny", {0.10, 0.05, 0.20},
+      {0.04, 0.01, 0.00,
+       0.01, 0.01, 0.00,
+       0.00, 0.00, 0.09},
+      {5, 3, 8}, 10, 2.0);
+}
+
+TEST(Portfolio, ReturnRiskObjective) {
+  const auto inst = tiny_instance();
+  const std::vector<std::uint8_t> x = {1, 1, 0};
+  EXPECT_NEAR(inst.portfolio_return(x), 0.15, 1e-12);
+  // risk = 0.04 + 0.01 + 2*0.01 = 0.07.
+  EXPECT_NEAR(inst.portfolio_risk(x), 0.07, 1e-12);
+  EXPECT_NEAR(inst.objective(x), -0.15 + 2.0 * 0.07, 1e-12);
+}
+
+TEST(Portfolio, FeasibilityIsBudgetCheck) {
+  const auto inst = tiny_instance();
+  EXPECT_TRUE(inst.feasible(std::vector<std::uint8_t>{1, 1, 0}));   // 8
+  EXPECT_FALSE(inst.feasible(std::vector<std::uint8_t>{1, 1, 1}));  // 16
+  EXPECT_EQ(inst.total_price(std::vector<std::uint8_t>{0, 1, 1}), 11);
+}
+
+TEST(Portfolio, ValidationRejectsBadShapes) {
+  EXPECT_THROW(PortfolioInstance("x", {0.1}, {0.1, 0.2}, {1}, 5, 1.0),
+               std::invalid_argument);  // Sigma not n*n
+  EXPECT_THROW(PortfolioInstance("x", {0.1}, {0.1}, {1, 2}, 5, 1.0),
+               std::invalid_argument);  // prices mismatch
+  EXPECT_THROW(PortfolioInstance("x", {0.1}, {0.1}, {1}, -5, 1.0),
+               std::invalid_argument);  // negative budget
+  EXPECT_THROW(PortfolioInstance("x", {0.1, 0.2},
+                                 {0.1, 0.5, 0.2, 0.1}, {1, 1}, 5, 1.0),
+               std::invalid_argument);  // asymmetric Sigma
+}
+
+TEST(PortfolioGenerator, DeterministicAndPsd) {
+  PortfolioGeneratorParams p;
+  p.n = 20;
+  p.seed = 3;
+  const auto a = generate_portfolio(p);
+  const auto b = generate_portfolio(p);
+  EXPECT_EQ(a.budget(), b.budget());
+
+  // PSD check via random quadratic forms (factor model guarantees it).
+  util::Xoshiro256pp rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> x(a.n());
+    for (auto& v : x) v = rng.bernoulli(0.5) ? 1 : 0;
+    EXPECT_GE(a.portfolio_risk(x), -1e-12);
+  }
+}
+
+TEST(PortfolioGenerator, BudgetFractionHolds) {
+  PortfolioGeneratorParams p;
+  p.n = 25;
+  p.seed = 7;
+  p.budget_fraction = 0.4;
+  const auto inst = generate_portfolio(p);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < inst.n(); ++i) total += inst.price(i);
+  EXPECT_NEAR(static_cast<double>(inst.budget()),
+              0.4 * static_cast<double>(total), 1.0);
+}
+
+TEST(PortfolioMapping, ObjectiveMatchesScaledInstance) {
+  const auto inst = tiny_instance();
+  const auto mapping = portfolio_to_problem(inst);
+  util::Xoshiro256pp rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> x(mapping.problem.n());
+    for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+    const std::vector<std::uint8_t> decision(x.begin(), x.begin() + 3);
+    EXPECT_NEAR(
+        mapping.problem.objective_value(x) * mapping.objective_scale,
+        inst.objective(decision), 1e-9);
+  }
+}
+
+TEST(PortfolioMapping, SlackCompletesBudgetRow) {
+  const auto inst = tiny_instance();
+  const auto mapping = portfolio_to_problem(inst);
+  const std::vector<std::uint8_t> decision = {1, 1, 0};  // price 8, gap 2
+  auto slack_bits = mapping.slack.encode(2);
+  std::vector<std::uint8_t> x = decision;
+  x.insert(x.end(), slack_bits.begin(), slack_bits.end());
+  EXPECT_NEAR(mapping.problem.max_violation(x), 0.0, 1e-12);
+}
+
+TEST(PortfolioMapping, NormalizationBoundsCoefficients) {
+  PortfolioGeneratorParams p;
+  p.n = 15;
+  p.seed = 2;
+  const auto inst = generate_portfolio(p);
+  const auto mapping = portfolio_to_problem(inst);
+  EXPECT_LE(mapping.problem.objective().max_abs_coefficient(), 1.0 + 1e-9);
+}
+
+TEST(PortfolioSaim, FindsExhaustiveOptimum) {
+  PortfolioGeneratorParams p;
+  p.n = 12;
+  p.seed = 11;
+  const auto inst = generate_portfolio(p);
+
+  const auto exact = exact::exhaustive_minimize(
+      inst.n(), [&](std::span<const std::uint8_t> x) {
+        exact::Verdict v;
+        v.feasible = inst.feasible(x);
+        v.cost = inst.objective(x);
+        return v;
+      });
+  ASSERT_TRUE(exact.found);
+
+  const auto mapping = portfolio_to_problem(inst);
+  anneal::PBitBackend backend(pbit::Schedule::linear(10.0), 400);
+  core::SaimOptions opts;
+  opts.iterations = 200;
+  opts.eta = 5.0;
+  opts.penalty_alpha = 2.0;
+  opts.seed = 3;
+  core::SaimSolver solver(mapping.problem, backend, opts);
+  const auto result = solver.solve(
+      [&](std::span<const std::uint8_t> x) {
+        core::SampleVerdict v;
+        const auto decision = x.first(inst.n());
+        v.feasible = inst.feasible(decision);
+        v.cost = inst.objective(decision);
+        return v;
+      });
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_NEAR(result.best_cost, exact.best_cost, 1e-9);
+}
+
+// Property: risk aversion monotonicity — raising kappa never increases the
+// risk of the exhaustive optimal portfolio.
+class RiskAversionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RiskAversionSweep, HigherKappaLowersOptimalRisk) {
+  PortfolioGeneratorParams p;
+  p.n = 10;
+  p.seed = GetParam();
+  p.risk_aversion = 0.5;
+  const auto low = generate_portfolio(p);
+  p.risk_aversion = 8.0;
+  const auto high = generate_portfolio(p);
+
+  auto optimal_risk = [](const PortfolioInstance& inst) {
+    const auto r = exact::exhaustive_minimize(
+        inst.n(), [&](std::span<const std::uint8_t> x) {
+          exact::Verdict v;
+          v.feasible = inst.feasible(x);
+          v.cost = inst.objective(x);
+          return v;
+        });
+    return inst.portfolio_risk(r.best_x);
+  };
+  EXPECT_LE(optimal_risk(high), optimal_risk(low) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, RiskAversionSweep,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace saim::problems

@@ -1,0 +1,110 @@
+#include "problems/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "problems/qkp.hpp"
+#include "util/rng.hpp"
+
+namespace saim::problems {
+namespace {
+
+ConstrainedProblem small_problem() {
+  ising::QuboModel f(3);
+  f.add_linear(0, -8.0);
+  f.add_quadratic(1, 2, 4.0);
+  LinearConstraint g;
+  g.terms = {{0, 2.0}, {1, 6.0}};
+  g.rhs = 10.0;
+  return ConstrainedProblem(std::move(f), {g}, 3);
+}
+
+TEST(Normalize, MaxAbsHelpers) {
+  const auto p = small_problem();
+  EXPECT_DOUBLE_EQ(objective_max_abs(p), 8.0);
+  EXPECT_DOUBLE_EQ(constraint_max_abs(p), 10.0);
+}
+
+TEST(Normalize, ScalesReported) {
+  const auto p = small_problem();
+  NormalizationScales s;
+  const auto q = normalized(p, &s);
+  EXPECT_DOUBLE_EQ(s.objective, 8.0);
+  EXPECT_DOUBLE_EQ(s.constraint, 10.0);
+  EXPECT_DOUBLE_EQ(objective_max_abs(q), 1.0);
+  EXPECT_DOUBLE_EQ(constraint_max_abs(q), 1.0);
+}
+
+TEST(Normalize, ObjectiveScaledExactly) {
+  const auto p = small_problem();
+  const auto q = normalized(p);
+  const std::vector<std::uint8_t> x = {1, 1, 1};
+  EXPECT_NEAR(q.objective_value(x) * 8.0, p.objective_value(x), 1e-12);
+}
+
+TEST(Normalize, FeasibleSetPreserved) {
+  const auto p = small_problem();
+  const auto q = normalized(p);
+  for (std::uint64_t code = 0; code < 8; ++code) {
+    std::vector<std::uint8_t> x(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      x[i] = static_cast<std::uint8_t>((code >> i) & 1ULL);
+    }
+    const bool feas_p = p.max_violation(x) <= 1e-12;
+    const bool feas_q = q.max_violation(x) <= 1e-12;
+    EXPECT_EQ(feas_p, feas_q) << "code=" << code;
+  }
+}
+
+TEST(Normalize, ZeroProblemsGetUnitScales) {
+  ising::QuboModel f(2);
+  ConstrainedProblem p(std::move(f), {}, 2);
+  NormalizationScales s;
+  (void)normalized(p, &s);
+  EXPECT_DOUBLE_EQ(s.objective, 1.0);
+  EXPECT_DOUBLE_EQ(s.constraint, 1.0);
+}
+
+// Property: normalization preserves the argmin set of the objective over
+// all configurations (scaling by a positive constant is monotone).
+class NormalizePreservesArgmin
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormalizePreservesArgmin, OnRandomQkpMappings) {
+  QkpGeneratorParams params;
+  params.n = 8;
+  params.density = 0.6;
+  params.seed = GetParam();
+  const auto inst = generate_qkp(params);
+  const auto raw = qkp_to_problem(inst, /*normalize=*/false);
+  const auto norm = normalized(raw.problem);
+
+  const std::size_t n = raw.problem.n();
+  ASSERT_LE(n, 20u);
+  double best_raw = 1e300;
+  double best_norm = 1e300;
+  std::uint64_t argmin_raw = 0;
+  std::uint64_t argmin_norm = 0;
+  for (std::uint64_t code = 0; code < (1ULL << n); ++code) {
+    std::vector<std::uint8_t> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<std::uint8_t>((code >> i) & 1ULL);
+    }
+    const double er = raw.problem.objective_value(x);
+    const double en = norm.objective_value(x);
+    if (er < best_raw) {
+      best_raw = er;
+      argmin_raw = code;
+    }
+    if (en < best_norm) {
+      best_norm = en;
+      argmin_norm = code;
+    }
+  }
+  EXPECT_EQ(argmin_raw, argmin_norm);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, NormalizePreservesArgmin,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace saim::problems

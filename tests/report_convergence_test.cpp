@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "anneal/backend.hpp"
+#include "core/penalty_method.hpp"
+#include "core/report.hpp"
+#include "core/saim_solver.hpp"
+#include "problems/qkp.hpp"
+
+namespace saim::core {
+namespace {
+
+SolveResult small_solve(SaimOptions opts, const problems::QkpInstance& inst) {
+  const auto mapping = problems::qkp_to_problem(inst);
+  anneal::PBitBackend backend(pbit::Schedule::linear(10.0), 150);
+  SaimSolver solver(mapping.problem, backend, opts);
+  return solver.solve(make_qkp_evaluator(inst));
+}
+
+TEST(ReportCsv, HeaderAndRowShapeMatch) {
+  const auto inst = problems::make_paper_qkp(12, 50, 9);
+  SaimOptions opts;
+  opts.iterations = 40;
+  opts.eta = 20.0;
+  opts.collect_feasible_costs = true;
+  const auto result = small_solve(opts, inst);
+
+  util::CsvWriter csv;
+  write_report_header(csv);
+  ReportRow row;
+  row.instance = inst.name();
+  row.method = "saim-pbit";
+  row.reference_cost = result.found_feasible ? result.best_cost : -1.0;
+  row.seconds = 0.5;
+  report_result(csv, row, result);
+
+  const std::string& out = csv.buffer();
+  // Header + one data line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  // Field count must match the header's.
+  const auto header_end = out.find('\n');
+  const auto commas_header = std::count(out.begin(),
+                                        out.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                header_end),
+                                        ',');
+  const auto commas_row =
+      std::count(out.begin() + static_cast<std::ptrdiff_t>(header_end),
+                 out.end(), ',');
+  EXPECT_EQ(commas_header, commas_row);
+  EXPECT_NE(out.find("12-50-9"), std::string::npos);
+  EXPECT_NE(out.find("saim-pbit"), std::string::npos);
+  // Reference == best -> best accuracy is exactly 100.
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(ReportCsv, TtsFieldEmptyWithoutPerSampleCosts) {
+  const auto inst = problems::make_paper_qkp(12, 50, 9);
+  SaimOptions opts;
+  opts.iterations = 20;
+  opts.eta = 20.0;
+  opts.collect_feasible_costs = false;  // no per-sample record
+  const auto result = small_solve(opts, inst);
+
+  util::CsvWriter csv;
+  ReportRow row;
+  row.instance = inst.name();
+  row.method = "m";
+  row.reference_cost = -1.0;
+  report_result(csv, row, result);
+  // Last field (tts99) must be empty -> row ends with a comma.
+  const std::string& out = csv.buffer();
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[out.size() - 2], ',');
+}
+
+TEST(Convergence, EarlyStopTriggersOnFlatLambda) {
+  // eta = 0 makes lambda static from iteration 0, so once a feasible
+  // sample shows up the patience counter runs out quickly.
+  const auto inst = problems::make_paper_qkp(12, 25, 1);
+  SaimOptions opts;
+  opts.iterations = 500;
+  opts.eta = 0.0;
+  opts.penalty_alpha = 60.0;  // strong penalty: feasible samples early
+  opts.convergence_patience = 5;
+  opts.seed = 3;
+  const auto result = small_solve(opts, inst);
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_LT(result.total_runs, 500u);
+  EXPECT_GE(result.total_runs, 5u);
+}
+
+TEST(Convergence, DisabledPatienceRunsFullBudget) {
+  const auto inst = problems::make_paper_qkp(12, 25, 1);
+  SaimOptions opts;
+  opts.iterations = 60;
+  opts.eta = 0.0;
+  opts.penalty_alpha = 60.0;
+  opts.convergence_patience = 0;  // disabled
+  const auto result = small_solve(opts, inst);
+  EXPECT_EQ(result.total_runs, 60u);
+}
+
+TEST(Convergence, NoEarlyStopWithoutFeasibleSample) {
+  // Tiny penalty and eta=0: likely nothing feasible, so even a flat lambda
+  // must not stop the search.
+  const auto inst = problems::make_paper_qkp(20, 50, 2);
+  SaimOptions opts;
+  opts.iterations = 50;
+  opts.eta = 0.0;
+  opts.penalty = 0.0001;
+  opts.convergence_patience = 3;
+  opts.seed = 1;
+  const auto result = small_solve(opts, inst);
+  if (!result.found_feasible) {
+    EXPECT_EQ(result.total_runs, 50u);
+  }
+}
+
+TEST(Convergence, SweepAccountingMatchesActualRuns) {
+  const auto inst = problems::make_paper_qkp(12, 25, 1);
+  SaimOptions opts;
+  opts.iterations = 300;
+  opts.eta = 0.0;
+  opts.penalty_alpha = 60.0;
+  opts.convergence_patience = 4;
+  const auto result = small_solve(opts, inst);
+  EXPECT_EQ(result.total_sweeps, result.total_runs * 150u);
+}
+
+}  // namespace
+}  // namespace saim::core

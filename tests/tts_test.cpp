@@ -1,0 +1,91 @@
+#include "core/tts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace saim::core {
+namespace {
+
+TEST(Tts, ZeroSuccessesIsUndefined) {
+  const auto e = time_to_solution(0, 100, 1.0);
+  EXPECT_FALSE(e.defined);
+  EXPECT_TRUE(std::isinf(e.tts));
+  EXPECT_DOUBLE_EQ(e.success_probability, 0.0);
+}
+
+TEST(Tts, CertainSuccessIsOneRun) {
+  const auto e = time_to_solution(50, 50, 2.5);
+  EXPECT_TRUE(e.defined);
+  EXPECT_TRUE(e.certain);
+  EXPECT_DOUBLE_EQ(e.expected_restarts, 1.0);
+  EXPECT_DOUBLE_EQ(e.tts, 2.5);
+}
+
+TEST(Tts, TextbookHalfProbability) {
+  // p = 0.5, q = 0.99: restarts = ln(0.01)/ln(0.5) ~ 6.64.
+  const auto e = time_to_solution(50, 100, 1.0);
+  EXPECT_NEAR(e.expected_restarts, std::log(0.01) / std::log(0.5), 1e-12);
+  EXPECT_NEAR(e.tts, 6.6438561898, 1e-6);
+}
+
+TEST(Tts, HighProbabilityClampsToOneRun) {
+  // p = 0.999: formula would give < 1 restart; clamp to 1.
+  const auto e = time_to_solution(999, 1000, 3.0);
+  EXPECT_DOUBLE_EQ(e.expected_restarts, 1.0);
+  EXPECT_DOUBLE_EQ(e.tts, 3.0);
+}
+
+TEST(Tts, ScalesLinearlyWithRunCost) {
+  const auto a = time_to_solution(10, 100, 1.0);
+  const auto b = time_to_solution(10, 100, 7.0);
+  EXPECT_NEAR(b.tts, 7.0 * a.tts, 1e-9);
+}
+
+TEST(Tts, QuantileMonotonicity) {
+  const auto q90 = time_to_solution(10, 100, 1.0, 0.90);
+  const auto q99 = time_to_solution(10, 100, 1.0, 0.99);
+  EXPECT_LT(q90.tts, q99.tts);
+}
+
+TEST(Tts, InvalidInputsThrow) {
+  EXPECT_THROW(time_to_solution(1, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(time_to_solution(5, 4, 1.0), std::invalid_argument);
+  EXPECT_THROW(time_to_solution(1, 10, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(time_to_solution(1, 10, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Tts, FromCostsCountsSuccesses) {
+  // Negative costs (knapsack convention); target -100.
+  const std::vector<double> costs = {-100.0, -99.0, -101.0, -50.0, -100.0};
+  const auto e = time_to_solution_from_costs(costs, -100.0, 2.0);
+  EXPECT_DOUBLE_EQ(e.success_probability, 3.0 / 5.0);
+}
+
+TEST(Tts, FromCostsToleranceApplies) {
+  const std::vector<double> costs = {-99.9999999};
+  const auto strict = time_to_solution_from_costs(costs, -100.0, 1.0, 0.99,
+                                                  0.0);
+  EXPECT_FALSE(strict.defined);
+  const auto loose = time_to_solution_from_costs(costs, -100.0, 1.0, 0.99,
+                                                 1e-3);
+  EXPECT_TRUE(loose.defined);
+}
+
+// Property sweep: restarts decrease monotonically in success probability.
+class TtsMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(TtsMonotone, MoreSuccessesNeverMoreRestarts) {
+  const int s = GetParam();
+  const auto low = time_to_solution(static_cast<std::size_t>(s), 100, 1.0);
+  const auto high =
+      time_to_solution(static_cast<std::size_t>(s) + 10, 100, 1.0);
+  EXPECT_LE(high.expected_restarts, low.expected_restarts + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SuccessCounts, TtsMonotone,
+                         ::testing::Values(1, 5, 10, 25, 50, 75, 89));
+
+}  // namespace
+}  // namespace saim::core

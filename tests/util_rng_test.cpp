@@ -1,0 +1,179 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace saim::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, ConsecutiveSeedsDecorrelated) {
+  // SplitMix64 seeding must break the low-entropy structure of seeds 0,1,2.
+  Xoshiro256pp a(0);
+  Xoshiro256pp b(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformSymCoversBothSigns) {
+  Xoshiro256pp rng(3);
+  int neg = 0;
+  int pos = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_sym();
+    ASSERT_GE(u, -1.0);
+    ASSERT_LT(u, 1.0);
+    (u < 0 ? neg : pos)++;
+  }
+  // Should be close to 50/50; allow generous slack.
+  EXPECT_GT(neg, 4000);
+  EXPECT_GT(pos, 4000);
+}
+
+TEST(Xoshiro, Uniform01MeanIsHalf) {
+  Xoshiro256pp rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BelowStaysBelow) {
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, BelowZeroReturnsZero) {
+  Xoshiro256pp rng(5);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro, BelowOneAlwaysZero) {
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Xoshiro, BelowHitsAllResidues) {
+  Xoshiro256pp rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro, RangeInclusiveBounds) {
+  Xoshiro256pp rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, RangeSingleton) {
+  Xoshiro256pp rng(13);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.range(5, 5), 5);
+  }
+}
+
+TEST(Xoshiro, BernoulliExtremes) {
+  Xoshiro256pp rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256pp a(21);
+  Xoshiro256pp b(21);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    seeds.insert(derive_seed(12345, k));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, DependsOnMaster) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(99, 7), derive_seed(99, 7));
+}
+
+// Coarse uniformity check: chi-square over 16 bins must not explode.
+TEST(Xoshiro, ChiSquareUniformity) {
+  Xoshiro256pp rng(123);
+  std::array<int, 16> bins{};
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) {
+    bins[static_cast<std::size_t>(rng.uniform01() * 16.0)]++;
+  }
+  const double expected = n / 16.0;
+  double chi2 = 0.0;
+  for (const int count : bins) {
+    const double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof: 99.9th percentile is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+}  // namespace
+}  // namespace saim::util
