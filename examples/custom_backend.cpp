@@ -14,6 +14,7 @@
 #include "core/penalty_method.hpp"
 #include "core/saim_solver.hpp"
 #include "ising/adjacency.hpp"
+#include "ising/local_field.hpp"
 #include "problems/qkp.hpp"
 
 namespace {
@@ -36,20 +37,19 @@ class LocalSearchBackend final : public anneal::IsingSolverBackend {
   anneal::RunResult run(util::Xoshiro256pp& rng) override {
     anneal::RunResult result;
     result.best_energy = 1e300;
+    // The incremental engine every in-repo backend uses is public API:
+    // field(i) is an O(1) read, flip(m, i) an O(deg) update.
+    ising::LocalFieldState lfs(*model_, *adjacency_);
     for (std::size_t r = 0; r < restarts_; ++r) {
       ising::Spins m(model_->n());
       for (auto& s : m) s = rng.bernoulli(0.5) ? 1 : -1;
-      double energy = model_->energy(m);
+      lfs.reset(m);
       // Descend: flip any spin that lowers H until no such spin exists.
       for (std::size_t sweep = 0; sweep < max_descent_sweeps_; ++sweep) {
         bool improved = false;
         for (std::size_t i = 0; i < m.size(); ++i) {
-          const double in =
-              adjacency_->coupling_input(m, i) + model_->field(i);
-          const double delta = 2.0 * static_cast<double>(m[i]) * in;
-          if (delta < 0.0) {
-            m[i] = static_cast<std::int8_t>(-m[i]);
-            energy += delta;
+          if (lfs.flip_delta(m, i) < 0.0) {
+            lfs.flip(m, i);
             improved = true;
           }
         }
@@ -57,9 +57,9 @@ class LocalSearchBackend final : public anneal::IsingSolverBackend {
         if (!improved) break;
       }
       result.last = m;
-      result.last_energy = energy;
-      if (energy < result.best_energy) {
-        result.best_energy = energy;
+      result.last_energy = lfs.energy();
+      if (lfs.energy() < result.best_energy) {
+        result.best_energy = lfs.energy();
         result.best = m;
       }
     }

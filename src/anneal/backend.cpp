@@ -1,8 +1,36 @@
 #include "anneal/backend.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "util/parallel.hpp"
 
 namespace saim::anneal {
+
+std::vector<RunResult> IsingSolverBackend::run_batch(util::Xoshiro256pp& rng,
+                                                     std::size_t replicas) {
+  std::vector<RunResult> results;
+  results.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    results.push_back(run(rng));
+  }
+  return results;
+}
+
+std::vector<RunResult> run_replicas_parallel(
+    const std::function<RunResult(util::Xoshiro256pp&)>& run_one,
+    util::Xoshiro256pp& rng, std::size_t replicas, std::size_t threads) {
+  const std::uint64_t base = rng();
+  std::vector<RunResult> results(replicas);
+  util::parallel_for(
+      replicas,
+      [&](std::size_t r) {
+        util::Xoshiro256pp replica_rng(util::derive_seed(base, r));
+        results[r] = run_one(replica_rng);
+      },
+      threads);
+  return results;
+}
 
 PBitBackend::PBitBackend(pbit::Schedule schedule, std::size_t sweeps,
                          pbit::SweepOrder order, bool track_best)
@@ -28,6 +56,23 @@ RunResult PBitBackend::run(util::Xoshiro256pp& rng) {
   if (warm_restart_) previous_state_ = r.last;
   return RunResult{std::move(r.last), r.last_energy, std::move(r.best),
                    r.best_energy, r.sweeps};
+}
+
+std::vector<RunResult> PBitBackend::run_batch(util::Xoshiro256pp& rng,
+                                              std::size_t replicas) {
+  if (!machine_) {
+    throw std::logic_error("PBitBackend::run_batch called before bind()");
+  }
+  if (warm_restart_) {
+    return IsingSolverBackend::run_batch(rng, replicas);
+  }
+  return run_replicas_parallel(
+      [this](util::Xoshiro256pp& replica_rng) {
+        auto r = machine_->anneal(schedule_, options_, replica_rng);
+        return RunResult{std::move(r.last), r.last_energy, std::move(r.best),
+                         r.best_energy, r.sweeps};
+      },
+      rng, replicas, batch_threads());
 }
 
 }  // namespace saim::anneal

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ising/ising_model.hpp"
 #include "pbit/pbit_machine.hpp"
@@ -44,12 +46,45 @@ class IsingSolverBackend {
   /// One independent minimization run from a random initial state.
   virtual RunResult run(util::Xoshiro256pp& rng) = 0;
 
+  /// `replicas` independent runs. The base implementation loops run() on
+  /// the caller's rng; the in-repo engine backends override it to draw one
+  /// base value from `rng` and run replica r with its own
+  /// Xoshiro256pp(derive_seed(base, r)) stream over a thread pool, so the
+  /// result vector is bit-identical regardless of thread count (and equal
+  /// to running the replicas one-by-one with those derived seeds).
+  virtual std::vector<RunResult> run_batch(util::Xoshiro256pp& rng,
+                                           std::size_t replicas);
+
+  /// Caps the worker threads run_batch may use (0 = all hardware
+  /// threads). Set to 1 when batches run inside an already-parallel
+  /// context (e.g. multi_start restarts) to avoid oversubscription —
+  /// results are identical either way, only scheduling changes.
+  void set_batch_threads(std::size_t threads) noexcept {
+    batch_threads_ = threads;
+  }
+  [[nodiscard]] std::size_t batch_threads() const noexcept {
+    return batch_threads_;
+  }
+
   /// MCS consumed per run() call — used for sample-budget accounting
   /// (Fig. 4b compares methods at equal MCS).
   [[nodiscard]] virtual std::size_t sweeps_per_run() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+ private:
+  std::size_t batch_threads_ = 0;
 };
+
+/// Shared implementation of the deterministic parallel run_batch contract:
+/// draws one base value from `rng`, then runs `run_one` for each replica r
+/// with a fresh Xoshiro256pp(derive_seed(base, r)) over util::parallel_for.
+/// `run_one` must be safe to invoke concurrently (all in-repo sweep
+/// engines are: they only read the bound model/adjacency).
+std::vector<RunResult> run_replicas_parallel(
+    const std::function<RunResult(util::Xoshiro256pp&)>& run_one,
+    util::Xoshiro256pp& rng, std::size_t replicas,
+    std::size_t threads = 0);
 
 /// The paper's backend: p-bit machine annealed with a (linear) beta ramp.
 class PBitBackend final : public IsingSolverBackend {
@@ -60,6 +95,10 @@ class PBitBackend final : public IsingSolverBackend {
 
   void bind(const ising::IsingModel& model) override;
   RunResult run(util::Xoshiro256pp& rng) override;
+  /// Parallel cold-start replicas; falls back to the sequential base loop
+  /// when warm restarts are enabled (those are inherently order-dependent).
+  std::vector<RunResult> run_batch(util::Xoshiro256pp& rng,
+                                   std::size_t replicas) override;
   [[nodiscard]] std::size_t sweeps_per_run() const override {
     return options_.sweeps;
   }

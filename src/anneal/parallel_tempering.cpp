@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ising/local_field.hpp"
+
 namespace saim::anneal {
 
 ParallelTempering::ParallelTempering(const ising::IsingModel& model,
@@ -30,16 +32,15 @@ std::vector<double> ParallelTempering::ladder() const {
   return betas;
 }
 
-void ParallelTempering::metropolis_sweep(ising::Spins& m, double& energy,
+void ParallelTempering::metropolis_sweep(ising::Spins& m,
+                                         ising::LocalFieldState& lfs,
                                          double beta,
                                          util::Xoshiro256pp& rng) const {
   const std::size_t n = model_->n();
   for (std::size_t i = 0; i < n; ++i) {
-    const double in = adjacency_.coupling_input(m, i) + model_->field(i);
-    const double delta = 2.0 * static_cast<double>(m[i]) * in;
+    const double delta = lfs.flip_delta(m, i);
     if (delta <= 0.0 || rng.uniform01() < std::exp(-beta * delta)) {
-      m[i] = static_cast<std::int8_t>(-m[i]);
-      energy += delta;
+      lfs.flip(m, i);
     }
   }
 }
@@ -50,32 +51,33 @@ RunResult ParallelTempering::run(util::Xoshiro256pp& rng) const {
   const std::size_t n = model_->n();
 
   std::vector<ising::Spins> states(r);
-  std::vector<double> energies(r);
+  std::vector<ising::LocalFieldState> fields(r);
   for (std::size_t k = 0; k < r; ++k) {
     states[k].resize(n);
     for (auto& s : states[k]) {
       s = rng.bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1};
     }
-    energies[k] = model_->energy(states[k]);
+    fields[k] = ising::LocalFieldState(*model_, adjacency_);
+    fields[k].reset(states[k]);
   }
 
   RunResult result;
   // Best over all replicas at any time.
   std::size_t best_replica = 0;
   for (std::size_t k = 1; k < r; ++k) {
-    if (energies[k] < energies[best_replica]) best_replica = k;
+    if (fields[k].energy() < fields[best_replica].energy()) best_replica = k;
   }
   result.best = states[best_replica];
-  result.best_energy = energies[best_replica];
+  result.best_energy = fields[best_replica].energy();
 
   std::size_t swap_attempts = 0;
   std::size_t swap_accepts = 0;
 
   for (std::size_t t = 0; t < options_.sweeps; ++t) {
     for (std::size_t k = 0; k < r; ++k) {
-      metropolis_sweep(states[k], energies[k], betas[k], rng);
-      if (energies[k] < result.best_energy) {
-        result.best_energy = energies[k];
+      metropolis_sweep(states[k], fields[k], betas[k], rng);
+      if (fields[k].energy() < result.best_energy) {
+        result.best_energy = fields[k].energy();
         result.best = states[k];
       }
     }
@@ -84,25 +86,26 @@ RunResult ParallelTempering::run(util::Xoshiro256pp& rng) const {
       const std::size_t parity = (t / options_.swap_interval) % 2;
       for (std::size_t k = parity; k + 1 < r; k += 2) {
         ++swap_attempts;
-        const double arg =
-            (betas[k] - betas[k + 1]) * (energies[k] - energies[k + 1]);
+        const double arg = (betas[k] - betas[k + 1]) *
+                           (fields[k].energy() - fields[k + 1].energy());
         if (arg >= 0.0 || rng.uniform01() < std::exp(arg)) {
           std::swap(states[k], states[k + 1]);
-          std::swap(energies[k], energies[k + 1]);
+          swap(fields[k], fields[k + 1]);
           ++swap_accepts;
         }
       }
     }
   }
 
-  last_swap_acceptance_ =
+  last_swap_acceptance_.store(
       swap_attempts ? static_cast<double>(swap_accepts) /
                           static_cast<double>(swap_attempts)
-                    : 0.0;
+                    : 0.0,
+      std::memory_order_relaxed);
 
   // The "measured sample" of a PT run is the coldest replica's final state.
   result.last = states[r - 1];
-  result.last_energy = energies[r - 1];
+  result.last_energy = fields[r - 1].energy();
   result.sweeps = options_.replicas * options_.sweeps;
   return result;
 }
@@ -120,6 +123,19 @@ RunResult ParallelTemperingBackend::run(util::Xoshiro256pp& rng) {
         "ParallelTemperingBackend::run called before bind()");
   }
   return pt_->run(rng);
+}
+
+std::vector<RunResult> ParallelTemperingBackend::run_batch(
+    util::Xoshiro256pp& rng, std::size_t replicas) {
+  if (!pt_) {
+    throw std::logic_error(
+        "ParallelTemperingBackend::run_batch called before bind()");
+  }
+  return run_replicas_parallel(
+      [this](util::Xoshiro256pp& replica_rng) {
+        return pt_->run(replica_rng);
+      },
+      rng, replicas, batch_threads());
 }
 
 }  // namespace saim::anneal

@@ -7,12 +7,14 @@
 // the standard acceptance  min(1, exp((beta_a - beta_b)(E_a - E_b))).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "anneal/backend.hpp"
 #include "ising/adjacency.hpp"
+#include "ising/local_field.hpp"
 
 namespace saim::anneal {
 
@@ -39,19 +41,20 @@ class ParallelTempering {
   [[nodiscard]] std::vector<double> ladder() const;
 
   /// Fraction of accepted exchange attempts in the most recent run()
-  /// (diagnostic for ladder quality; not thread-safe across runs).
+  /// (diagnostic for ladder quality; under concurrent runs it reports
+  /// whichever run stored last).
   [[nodiscard]] double last_swap_acceptance() const noexcept {
-    return last_swap_acceptance_;
+    return last_swap_acceptance_.load(std::memory_order_relaxed);
   }
 
  private:
-  void metropolis_sweep(ising::Spins& m, double& energy, double beta,
-                        util::Xoshiro256pp& rng) const;
+  void metropolis_sweep(ising::Spins& m, ising::LocalFieldState& lfs,
+                        double beta, util::Xoshiro256pp& rng) const;
 
   const ising::IsingModel* model_;
   ising::Adjacency adjacency_;
   PtOptions options_;
-  mutable double last_swap_acceptance_ = 0.0;
+  mutable std::atomic<double> last_swap_acceptance_{0.0};
 };
 
 /// Backend adapter so SAIM (or the penalty driver) can run on PT.
@@ -61,6 +64,8 @@ class ParallelTemperingBackend final : public IsingSolverBackend {
 
   void bind(const ising::IsingModel& model) override;
   RunResult run(util::Xoshiro256pp& rng) override;
+  std::vector<RunResult> run_batch(util::Xoshiro256pp& rng,
+                                   std::size_t replicas) override;
   [[nodiscard]] std::size_t sweeps_per_run() const override {
     return options_.replicas * options_.sweeps;
   }

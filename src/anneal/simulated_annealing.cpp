@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ising/local_field.hpp"
+
 namespace saim::anneal {
 
 MetropolisSa::MetropolisSa(const ising::IsingModel& model)
@@ -28,30 +30,28 @@ RunResult MetropolisSa::run_from(ising::Spins start,
   result.sweeps = options.sweeps;
 
   const std::size_t n = model_->n();
-  double energy = model_->energy(result.last);
+  ising::LocalFieldState lfs(*model_, adjacency_);
+  lfs.reset(result.last);
   result.best = result.last;
-  result.best_energy = energy;
+  result.best_energy = lfs.energy();
 
   for (std::size_t t = 0; t < options.sweeps; ++t) {
     const double beta = schedule.beta(t, options.sweeps);
     for (std::size_t i = 0; i < n; ++i) {
-      const double in =
-          adjacency_.coupling_input(result.last, i) + model_->field(i);
-      const double delta = 2.0 * static_cast<double>(result.last[i]) * in;
+      const double delta = lfs.flip_delta(result.last, i);
       if (delta <= 0.0 || rng.uniform01() < std::exp(-beta * delta)) {
-        result.last[i] = static_cast<std::int8_t>(-result.last[i]);
-        energy += delta;
+        lfs.flip(result.last, i);
       }
     }
-    if (options.track_best && energy < result.best_energy) {
-      result.best_energy = energy;
+    if (options.track_best && lfs.energy() < result.best_energy) {
+      result.best_energy = lfs.energy();
       result.best = result.last;
     }
   }
-  result.last_energy = energy;
+  result.last_energy = lfs.energy();
   if (!options.track_best) {
     result.best = result.last;
-    result.best_energy = energy;
+    result.best_energy = result.last_energy;
   }
   return result;
 }
@@ -72,6 +72,19 @@ RunResult MetropolisSaBackend::run(util::Xoshiro256pp& rng) {
     throw std::logic_error("MetropolisSaBackend::run called before bind()");
   }
   return sa_->run(schedule_, options_, rng);
+}
+
+std::vector<RunResult> MetropolisSaBackend::run_batch(
+    util::Xoshiro256pp& rng, std::size_t replicas) {
+  if (!sa_) {
+    throw std::logic_error(
+        "MetropolisSaBackend::run_batch called before bind()");
+  }
+  return run_replicas_parallel(
+      [this](util::Xoshiro256pp& replica_rng) {
+        return sa_->run(schedule_, options_, replica_rng);
+      },
+      rng, replicas, batch_threads());
 }
 
 }  // namespace saim::anneal

@@ -45,6 +45,8 @@ class MetropolisSaBackend final : public IsingSolverBackend {
 
   void bind(const ising::IsingModel& model) override;
   RunResult run(util::Xoshiro256pp& rng) override;
+  std::vector<RunResult> run_batch(util::Xoshiro256pp& rng,
+                                   std::size_t replicas) override;
   [[nodiscard]] std::size_t sweeps_per_run() const override {
     return options_.sweeps;
   }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ising/local_field.hpp"
+
 namespace saim::anneal {
 
 SimulatedQuantumAnnealer::SimulatedQuantumAnnealer(
@@ -34,20 +36,23 @@ RunResult SimulatedQuantumAnnealer::run(util::Xoshiro256pp& rng) const {
   const auto m_d = static_cast<double>(slices);
 
   std::vector<ising::Spins> state(slices);
-  std::vector<double> classical_energy(slices);
+  // One incremental engine per Trotter slice; each tracks its slice's
+  // *unscaled* classical energy (the readout quantity).
+  std::vector<ising::LocalFieldState> fields(slices);
   for (std::size_t k = 0; k < slices; ++k) {
     state[k].resize(n);
     for (auto& s : state[k]) s = rng.bernoulli(0.5) ? 1 : -1;
-    classical_energy[k] = model_->energy(state[k]);
+    fields[k] = ising::LocalFieldState(*model_, adjacency_);
+    fields[k].reset(state[k]);
   }
 
   RunResult result;
   std::size_t best_k = 0;
   for (std::size_t k = 1; k < slices; ++k) {
-    if (classical_energy[k] < classical_energy[best_k]) best_k = k;
+    if (fields[k].energy() < fields[best_k].energy()) best_k = k;
   }
   result.best = state[best_k];
-  result.best_energy = classical_energy[best_k];
+  result.best_energy = fields[best_k].energy();
 
   // Geometric Gamma ramp (standard for SQA; linear works too but wastes
   // sweeps at large Gamma where slices are uncorrelated anyway).
@@ -65,8 +70,7 @@ RunResult SimulatedQuantumAnnealer::run(util::Xoshiro256pp& rng) const {
       const std::size_t up = (k + 1) % slices;
       const std::size_t down = (k + slices - 1) % slices;
       for (std::size_t i = 0; i < n; ++i) {
-        const double classical_in =
-            adjacency_.coupling_input(state[k], i) + model_->field(i);
+        const double classical_in = fields[k].field(i);
         const double classical_delta =
             2.0 * static_cast<double>(state[k][i]) * classical_in / m_d;
         const double quantum_delta =
@@ -76,12 +80,10 @@ RunResult SimulatedQuantumAnnealer::run(util::Xoshiro256pp& rng) const {
         const double delta = classical_delta + quantum_delta;
         if (delta <= 0.0 ||
             rng.uniform01() < std::exp(-options_.beta * delta)) {
-          // Track the un-scaled classical energy change for readout.
-          classical_energy[k] +=
-              2.0 * static_cast<double>(state[k][i]) * classical_in;
-          state[k][i] = static_cast<std::int8_t>(-state[k][i]);
-          if (classical_energy[k] < result.best_energy) {
-            result.best_energy = classical_energy[k];
+          // flip() tracks the un-scaled classical energy for readout.
+          fields[k].flip(state[k], i);
+          if (fields[k].energy() < result.best_energy) {
+            result.best_energy = fields[k].energy();
             result.best = state[k];
           }
         }
@@ -91,10 +93,10 @@ RunResult SimulatedQuantumAnnealer::run(util::Xoshiro256pp& rng) const {
 
   best_k = 0;
   for (std::size_t k = 1; k < slices; ++k) {
-    if (classical_energy[k] < classical_energy[best_k]) best_k = k;
+    if (fields[k].energy() < fields[best_k].energy()) best_k = k;
   }
   result.last = state[best_k];
-  result.last_energy = classical_energy[best_k];
+  result.last_energy = fields[best_k].energy();
   result.sweeps = slices * options_.sweeps;
   return result;
 }
@@ -110,6 +112,18 @@ RunResult SqaBackend::run(util::Xoshiro256pp& rng) {
     throw std::logic_error("SqaBackend::run called before bind()");
   }
   return sqa_->run(rng);
+}
+
+std::vector<RunResult> SqaBackend::run_batch(util::Xoshiro256pp& rng,
+                                             std::size_t replicas) {
+  if (!sqa_) {
+    throw std::logic_error("SqaBackend::run_batch called before bind()");
+  }
+  return run_replicas_parallel(
+      [this](util::Xoshiro256pp& replica_rng) {
+        return sqa_->run(replica_rng);
+      },
+      rng, replicas, batch_threads());
 }
 
 }  // namespace saim::anneal

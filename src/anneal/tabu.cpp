@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ising/local_field.hpp"
+
 namespace saim::anneal {
 
 TabuSearch::TabuSearch(const ising::IsingModel& model, TabuOptions options)
@@ -23,19 +25,14 @@ RunResult TabuSearch::run(util::Xoshiro256pp& rng) const {
   };
 
   ising::Spins state = random_state();
-  double energy = model_->energy(state);
+  // The engine maintains every spin's input I_i incrementally, so the move
+  // deltas 2 m_i I_i are O(1) reads in the scan and a stall restart no
+  // longer pays the old O(n^2) dense delta recompute (reset keeps one
+  // dense energy evaluation for bit-compatibility with the old path).
+  ising::LocalFieldState lfs(*model_, adjacency_);
+  lfs.reset(state);
   result.best = state;
-  result.best_energy = energy;
-
-  // delta[i] = energy change of flipping spin i; maintained incrementally:
-  // flipping j negates delta[j] and shifts neighbours by 4 J_ij m_i m_j.
-  std::vector<double> delta(n);
-  auto recompute_deltas = [&] {
-    for (std::size_t i = 0; i < n; ++i) {
-      delta[i] = model_->flip_delta(state, i);
-    }
-  };
-  recompute_deltas();
+  result.best_energy = lfs.energy();
 
   std::vector<std::size_t> tabu_until(n, 0);
   std::size_t stall = 0;
@@ -44,13 +41,14 @@ RunResult TabuSearch::run(util::Xoshiro256pp& rng) const {
     std::size_t best_move = n;
     double best_delta = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < n; ++i) {
+      const double delta = lfs.flip_delta(state, i);
       const bool is_tabu = tabu_until[i] >= step;
       // Aspiration: a tabu move is allowed if it beats the incumbent.
       const bool aspirated =
-          is_tabu && energy + delta[i] < result.best_energy;
+          is_tabu && lfs.energy() + delta < result.best_energy;
       if (is_tabu && !aspirated) continue;
-      if (delta[i] < best_delta) {
-        best_delta = delta[i];
+      if (delta < best_delta) {
+        best_delta = delta;
         best_move = i;
       }
     }
@@ -60,42 +58,24 @@ RunResult TabuSearch::run(util::Xoshiro256pp& rng) const {
     }
 
     // Apply the move.
-    const std::size_t j = best_move;
-    energy += delta[j];
-    state[j] = static_cast<std::int8_t>(-state[j]);
-    tabu_until[j] = step + options_.tenure;
-    delta[j] = -delta[j];
-    const auto nbr = adjacency_.neighbors(j);
-    const auto w = adjacency_.weights(j);
-    for (std::size_t k = 0; k < nbr.size(); ++k) {
-      const std::size_t i = nbr[k];
-      // dH_i = 2 m_i I_i with I_i containing J_ij m_j: m_j changed sign,
-      // shifting delta[i] by 2 m_i * J_ij * (m_j_new - m_j_old)
-      //       = 2 m_i J_ij * 2 m_j_new = 4 J_ij m_i m_j_new... but in our
-      // convention H = -sum J m m, so flip_delta = 2 m_i I_i with
-      // I_i = sum J_ij m_j + h_i and dH(flip i) = 2 m_i I_i. After m_j
-      // flips, I_i changes by 2 J_ij m_j_new, so delta[i] changes by
-      // 4 m_i J_ij m_j_new.
-      delta[i] += 4.0 * static_cast<double>(state[i]) * w[k] *
-                  static_cast<double>(state[j]);
-    }
+    lfs.flip(state, best_move);
+    tabu_until[best_move] = step + options_.tenure;
 
-    if (energy < result.best_energy - 1e-15) {
-      result.best_energy = energy;
+    if (lfs.energy() < result.best_energy - 1e-15) {
+      result.best_energy = lfs.energy();
       result.best = state;
       stall = 0;
     } else if (options_.stall_limit != 0 &&
                ++stall >= options_.stall_limit) {
       state = random_state();
-      energy = model_->energy(state);
-      recompute_deltas();
+      lfs.reset(state);
       std::fill(tabu_until.begin(), tabu_until.end(), 0);
       stall = 0;
     }
   }
 
   result.last = state;
-  result.last_energy = energy;
+  result.last_energy = lfs.energy();
   result.sweeps = (options_.steps + n - 1) / (n == 0 ? 1 : n);
   return result;
 }
@@ -112,6 +92,18 @@ RunResult TabuBackend::run(util::Xoshiro256pp& rng) {
     throw std::logic_error("TabuBackend::run called before bind()");
   }
   return tabu_->run(rng);
+}
+
+std::vector<RunResult> TabuBackend::run_batch(util::Xoshiro256pp& rng,
+                                              std::size_t replicas) {
+  if (!tabu_) {
+    throw std::logic_error("TabuBackend::run_batch called before bind()");
+  }
+  return run_replicas_parallel(
+      [this](util::Xoshiro256pp& replica_rng) {
+        return tabu_->run(replica_rng);
+      },
+      rng, replicas, batch_threads());
 }
 
 std::size_t TabuBackend::sweeps_per_run() const {

@@ -46,6 +46,8 @@ class TabuBackend final : public IsingSolverBackend {
 
   void bind(const ising::IsingModel& model) override;
   RunResult run(util::Xoshiro256pp& rng) override;
+  std::vector<RunResult> run_batch(util::Xoshiro256pp& rng,
+                                   std::size_t replicas) override;
   /// One tabu step touches one spin; n steps ~ one Monte-Carlo sweep, so
   /// report steps/n (rounded up) as the sweep-equivalent for budget
   /// accounting.

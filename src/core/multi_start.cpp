@@ -1,7 +1,10 @@
 #include "core/multi_start.hpp"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace saim::core {
@@ -17,19 +20,35 @@ MultiStartResult multi_start_saim(
     throw std::invalid_argument("multi_start_saim: null backend factory");
   }
 
+  // Solve the restarts (possibly concurrently — every restart has its own
+  // backend, solver and derived seed), then aggregate in restart order so
+  // tie-breaking matches the sequential path exactly.
+  std::vector<SolveResult> results(multi.restarts);
+  util::parallel_for(
+      multi.restarts,
+      [&](std::size_t r) {
+        auto backend = make();
+        if (!backend) {
+          throw std::invalid_argument(
+              "multi_start_saim: factory returned null backend");
+        }
+        if (multi.threads != 1) {
+          // Restarts already occupy the worker threads; keep each
+          // backend's own replica batches single-threaded so nested
+          // parallelism cannot oversubscribe the machine.
+          backend->set_batch_threads(1);
+        }
+        SaimOptions opts = options;
+        opts.seed = util::derive_seed(multi.seed, r);
+        SaimSolver solver(problem, *backend, opts);
+        results[r] = solver.solve(evaluate);
+      },
+      multi.threads);
+
   MultiStartResult aggregate;
   bool have_best = false;
   for (std::size_t r = 0; r < multi.restarts; ++r) {
-    auto backend = make();
-    if (!backend) {
-      throw std::invalid_argument(
-          "multi_start_saim: factory returned null backend");
-    }
-    SaimOptions opts = options;
-    opts.seed = util::derive_seed(multi.seed, r);
-    SaimSolver solver(problem, *backend, opts);
-    SolveResult result = solver.solve(evaluate);
-
+    SolveResult& result = results[r];
     aggregate.total_sweeps += result.total_sweeps;
     if (result.found_feasible) {
       ++aggregate.feasible_restarts;

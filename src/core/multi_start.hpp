@@ -17,13 +17,21 @@
 namespace saim::core {
 
 /// Creates a fresh inner-solver backend per restart. Backends keep state
-/// (bound model, warm-start caches), so restarts must not share one.
+/// (bound model, warm-start caches), so restarts must not share one. With
+/// threads > 1 the factory (and the evaluator passed to
+/// multi_start_saim) are invoked concurrently and must be thread-safe —
+/// the in-repo factories and evaluators, which only read shared problem
+/// data, all are.
 using BackendFactory =
     std::function<std::unique_ptr<anneal::IsingSolverBackend>()>;
 
 struct MultiStartOptions {
   std::size_t restarts = 5;
   std::uint64_t seed = 1;  ///< master seed; restart r uses derive_seed(seed, r)
+  /// Worker threads for the restarts (0 = all hardware threads). Restart r
+  /// depends only on derive_seed(seed, r) and results are aggregated in
+  /// restart order, so the outcome is bit-identical for any thread count.
+  std::size_t threads = 1;
 };
 
 struct MultiStartResult {

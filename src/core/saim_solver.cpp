@@ -51,25 +51,50 @@ SolveResult SaimSolver::solve(const SampleEvaluator& evaluate) {
   std::size_t converged_streak = 0;
 
   for (std::size_t k = 0; k < options_.iterations; ++k) {
-    // Minimize L_k with the Ising machine; read the measured sample.
-    const anneal::RunResult run = backend_->run(rng);
-    const auto& spins = options_.use_best_sample ? run.best : run.last;
-    const ising::Bits x = ising::spins_to_bits(spins);
+    // Minimize L_k with the Ising machine; read the measured sample(s).
+    // replicas == 1 keeps the paper's single run() call (and its exact RNG
+    // stream); replicas > 1 fans out through the backend's run_batch.
+    std::vector<anneal::RunResult> runs;
+    if (options_.replicas > 1) {
+      runs = backend_->run_batch(rng, options_.replicas);
+    } else {
+      runs.push_back(backend_->run(rng));
+    }
 
-    // Store feasible solutions, judged on the original problem.
-    const SampleVerdict verdict = judge(x);
-    if (verdict.feasible) {
-      ++result.feasible_count;
-      result.found_feasible = true;
-      result.feasible_cost_stats.add(verdict.cost);
-      if (options_.collect_feasible_costs) {
-        result.feasible_costs.push_back(verdict.cost);
+    // Judge every replica's sample against the original problem; guide the
+    // lambda update with the lowest-energy one.
+    std::size_t guide = 0;
+    ising::Bits x;
+    SampleVerdict verdict;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      const auto& run = runs[r];
+      const auto& spins = options_.use_best_sample ? run.best : run.last;
+      const ising::Bits xr = ising::spins_to_bits(spins);
+      const SampleVerdict v = judge(xr);
+      if (v.feasible) {
+        ++result.feasible_count;
+        result.found_feasible = true;
+        result.feasible_cost_stats.add(v.cost);
+        if (options_.collect_feasible_costs) {
+          result.feasible_costs.push_back(v.cost);
+        }
+        if (v.cost < result.best_cost) {
+          result.best_cost = v.cost;
+          result.best_x.assign(xr.begin(),
+                               xr.begin() + static_cast<std::ptrdiff_t>(
+                                                problem_->num_decision()));
+        }
       }
-      if (verdict.cost < result.best_cost) {
-        result.best_cost = verdict.cost;
-        result.best_x.assign(x.begin(),
-                             x.begin() + static_cast<std::ptrdiff_t>(
-                                             problem_->num_decision()));
+
+      const double guide_energy =
+          options_.use_best_sample ? run.best_energy : run.last_energy;
+      const double incumbent = options_.use_best_sample
+                                   ? runs[guide].best_energy
+                                   : runs[guide].last_energy;
+      if (r == 0 || guide_energy < incumbent) {
+        guide = r;
+        x = xr;
+        verdict = v;
       }
     }
 
@@ -95,8 +120,8 @@ SolveResult SaimSolver::solve(const SampleEvaluator& evaluate) {
     model_.set_lambda(lambda);
     backend_->fields_updated();
 
-    result.total_sweeps += run.sweeps;
-    ++result.total_runs;
+    for (const auto& run : runs) result.total_sweeps += run.sweeps;
+    result.total_runs += runs.size();
 
     // Optional early stop once the multiplier staircase has flattened and
     // the feasible pool is non-empty.

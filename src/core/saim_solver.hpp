@@ -52,6 +52,14 @@ struct SaimOptions {
   double penalty = -1.0;          ///< explicit P; negative = use heuristic
   StepRule step_rule = StepRule::kFixed;
   std::uint64_t seed = 1;
+  /// Inner-solver replicas per outer iteration, executed through the
+  /// backend's run_batch (thread-pooled with deterministic per-replica RNG
+  /// streams for the in-repo engines). Every replica's measured sample is
+  /// judged for feasibility; the lambda update uses the replica whose
+  /// sample has the lowest Lagrangian energy — the tightest available
+  /// estimate of argmin_x L. 1 reproduces the paper's single-run loop
+  /// exactly.
+  std::size_t replicas = 1;
   bool record_history = false;
   /// Update lambda from the run's best-energy state instead of its final
   /// sample (ablation; the paper reads "the last sample of state {m}").

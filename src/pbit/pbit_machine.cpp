@@ -17,23 +17,21 @@ ising::Spins PBitMachine::random_state(util::Xoshiro256pp& rng) const {
   return m;
 }
 
-double PBitMachine::sweep(ising::Spins& m, double beta, SweepOrder order,
-                          util::Xoshiro256pp& rng,
-                          std::vector<std::uint32_t>& scratch) const {
+void PBitMachine::sweep(ising::Spins& m, ising::LocalFieldState& lfs,
+                        double beta, SweepOrder order,
+                        util::Xoshiro256pp& rng,
+                        std::vector<std::uint32_t>& scratch) const {
   const std::size_t size = n();
-  double delta_energy = 0.0;
 
   auto update_one = [&](std::size_t i) {
-    const double in = input(m, i);
+    const double in = lfs.field(i);
     // m_i = sign(tanh(beta*I_i) + U(-1,1)): +1 with prob (1+tanh)/2.
     const double activation = std::tanh(beta * in);
     const std::int8_t next =
         (activation + rng.uniform_sym()) >= 0.0 ? std::int8_t{1}
                                                 : std::int8_t{-1};
     if (next != m[i]) {
-      // H contains -m_i I_i; flipping m_i -> -m_i changes H by 2 m_i I_i.
-      delta_energy += 2.0 * static_cast<double>(m[i]) * in;
-      m[i] = next;
+      lfs.flip(m, i);
     }
   };
 
@@ -56,7 +54,6 @@ double PBitMachine::sweep(ising::Spins& m, double beta, SweepOrder order,
       for (std::size_t k = 0; k < size; ++k) update_one(rng.below(size));
       break;
   }
-  return delta_energy;
 }
 
 AnnealResult PBitMachine::anneal(const Schedule& schedule,
@@ -73,25 +70,26 @@ AnnealResult PBitMachine::anneal_from(ising::Spins start,
   result.last = std::move(start);
   result.sweeps = options.sweeps;
 
-  double energy = model_->energy(result.last);
+  ising::LocalFieldState lfs(*model_, adjacency_);
+  lfs.reset(result.last);
   if (options.track_best) {
     result.best = result.last;
-    result.best_energy = energy;
+    result.best_energy = lfs.energy();
   }
 
   std::vector<std::uint32_t> scratch;
   for (std::size_t t = 0; t < options.sweeps; ++t) {
     const double beta = schedule.beta(t, options.sweeps);
-    energy += sweep(result.last, beta, options.order, rng, scratch);
-    if (options.track_best && energy < result.best_energy) {
-      result.best_energy = energy;
+    sweep(result.last, lfs, beta, options.order, rng, scratch);
+    if (options.track_best && lfs.energy() < result.best_energy) {
+      result.best_energy = lfs.energy();
       result.best = result.last;
     }
   }
-  result.last_energy = energy;
+  result.last_energy = lfs.energy();
   if (!options.track_best) {
     result.best = result.last;
-    result.best_energy = energy;
+    result.best_energy = result.last_energy;
   }
   return result;
 }
@@ -101,12 +99,14 @@ void PBitMachine::sample(
     util::Xoshiro256pp& rng,
     const std::function<void(const ising::Spins&)>& observer) const {
   ising::Spins m = random_state(rng);
+  ising::LocalFieldState lfs(*model_, adjacency_);
+  lfs.reset(m);
   std::vector<std::uint32_t> scratch;
   for (std::size_t t = 0; t < burn_in; ++t) {
-    sweep(m, beta, SweepOrder::kSequential, rng, scratch);
+    sweep(m, lfs, beta, SweepOrder::kSequential, rng, scratch);
   }
   for (std::size_t t = 0; t < samples; ++t) {
-    sweep(m, beta, SweepOrder::kSequential, rng, scratch);
+    sweep(m, lfs, beta, SweepOrder::kSequential, rng, scratch);
     observer(m);
   }
 }

@@ -19,6 +19,7 @@
 
 #include "ising/adjacency.hpp"
 #include "ising/ising_model.hpp"
+#include "ising/local_field.hpp"
 #include "pbit/schedule.hpp"
 #include "util/rng.hpp"
 
@@ -77,11 +78,12 @@ class PBitMachine {
   }
 
  private:
-  /// One Monte-Carlo sweep at inverse temperature beta; returns the energy
-  /// change accumulated over all accepted flips.
-  double sweep(ising::Spins& m, double beta, SweepOrder order,
-               util::Xoshiro256pp& rng,
-               std::vector<std::uint32_t>& scratch) const;
+  /// One Monte-Carlo sweep at inverse temperature beta. Reads each p-bit's
+  /// input from the incremental engine (O(1) per visit) and pushes accepted
+  /// flips back through it; `lfs` tracks the running energy.
+  void sweep(ising::Spins& m, ising::LocalFieldState& lfs, double beta,
+             SweepOrder order, util::Xoshiro256pp& rng,
+             std::vector<std::uint32_t>& scratch) const;
 
   const ising::IsingModel* model_;
   ising::Adjacency adjacency_;

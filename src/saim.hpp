@@ -25,6 +25,7 @@
 #include "ising/convert.hpp"                  // IWYU pragma: export
 #include "ising/graph.hpp"                    // IWYU pragma: export
 #include "ising/ising_model.hpp"              // IWYU pragma: export
+#include "ising/local_field.hpp"              // IWYU pragma: export
 #include "ising/qubo_model.hpp"               // IWYU pragma: export
 #include "lagrange/lagrangian_model.hpp"      // IWYU pragma: export
 #include "pbit/diagnostics.hpp"               // IWYU pragma: export
@@ -40,6 +41,7 @@
 #include "util/cli.hpp"                       // IWYU pragma: export
 #include "util/csv.hpp"                       // IWYU pragma: export
 #include "util/logging.hpp"                   // IWYU pragma: export
+#include "util/parallel.hpp"                  // IWYU pragma: export
 #include "util/rng.hpp"                       // IWYU pragma: export
 #include "util/stats.hpp"                     // IWYU pragma: export
 #include "util/timer.hpp"                     // IWYU pragma: export

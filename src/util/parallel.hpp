@@ -1,0 +1,27 @@
+// Minimal deterministic fork-join parallelism for replica batches.
+//
+// parallel_for(count, fn) runs fn(0..count-1) across a transient pool of
+// std::threads pulling indices from an atomic counter. Work items must be
+// independent; anything whose output depends only on its index (e.g. a
+// replica seeded with derive_seed(base, index)) produces bit-identical
+// results regardless of thread count — the property run_batch tests rely
+// on. The first exception thrown by any item cancels the items not yet
+// started and is rethrown on the calling thread after the join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace saim::util {
+
+/// max(1, std::thread::hardware_concurrency()).
+[[nodiscard]] std::size_t hardware_threads() noexcept;
+
+/// Runs fn(i) for i in [0, count). `threads` == 0 picks
+/// hardware_threads(); the effective pool is min(threads, count), and a
+/// pool of one runs inline with no thread spawned.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace saim::util
