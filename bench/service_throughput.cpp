@@ -1,0 +1,188 @@
+// Service-layer throughput bench: jobs/sec of SolveService on a mixed
+// QKP/MKP job stream at 1/4/8 workers, plus the cache hit-rate when the
+// stream repeats itself. Writes BENCH_service.json.
+//
+// Two phases:
+//   * scaling — a stream of unique jobs (distinct seeds, cache off) timed
+//     at each worker count. Jobs are independent single-threaded solves,
+//     so throughput should scale with workers up to the machine's cores;
+//     `hardware_threads` is recorded so a 1-core CI box explains itself.
+//   * cache — the same mixed stream submitted twice through a caching
+//     service: the second wave is pure cache hits, and the measured
+//     hit-rate and hit-serving throughput quantify what the cache buys.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+#include "service/request_builders.hpp"
+#include "service/solve_service.hpp"
+#include "util/cli.hpp"
+#include "util/jsonl.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace saim;
+
+/// One reusable request skeleton per instance (shared problem handle +
+/// evaluator); copied and specialized per submission.
+std::vector<service::SolveRequest> make_mixed_stream(std::size_t instances,
+                                                     std::size_t n) {
+  std::vector<service::SolveRequest> templates;
+  for (std::size_t i = 0; i < instances; ++i) {
+    if (i % 2 == 0) {
+      templates.push_back(
+          service::request_for(std::make_shared<problems::QkpInstance>(
+              problems::make_paper_qkp(n, 25, static_cast<int>(i / 2 + 1)))));
+    } else {
+      templates.push_back(
+          service::request_for(std::make_shared<problems::MkpInstance>(
+              problems::make_paper_mkp(n, 5, static_cast<int>(i / 2 + 1)))));
+    }
+  }
+  return templates;
+}
+
+service::SolveRequest make_request(const service::SolveRequest& base,
+                                   std::size_t iterations,
+                                   std::size_t sweeps, std::uint64_t seed,
+                                   bool use_cache) {
+  service::SolveRequest request = base;
+  request.backend.sweeps = sweeps;
+  request.options.iterations = iterations;
+  request.options.seed = seed;
+  request.use_cache = use_cache;
+  return request;
+}
+
+/// Submits `jobs` requests (seed = job index when unique_seeds) and waits
+/// for all; returns wall seconds.
+double run_wave(service::SolveService& svc,
+                const std::vector<service::SolveRequest>& templates,
+                std::size_t jobs, std::size_t iterations, std::size_t sweeps,
+                bool use_cache, bool unique_seeds) {
+  std::vector<service::JobHandle> handles;
+  handles.reserve(jobs);
+  util::WallTimer timer;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const auto& t = templates[j % templates.size()];
+    handles.push_back(svc.submit(make_request(
+        t, iterations, sweeps, unique_seeds ? j + 1 : 1, use_cache)));
+  }
+  for (auto& h : handles) h.wait();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_service_throughput",
+                       "SolveService jobs/sec and cache hit-rate");
+  args.add_flag("jobs", "jobs per measured wave", "24")
+      .add_flag("instances", "distinct instances in the mixed stream", "6")
+      .add_flag("n", "instance size (QKP items / MKP items)", "50")
+      .add_flag("iterations", "SAIM outer iterations per job", "30")
+      .add_flag("sweeps", "MCS per inner run", "200")
+      .add_flag("out", "output JSON path", "BENCH_service.json");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+
+  const auto positive = [&](const char* flag) {
+    const std::int64_t v = args.get_int(flag);
+    if (v <= 0) {
+      std::fprintf(stderr, "--%s must be positive (got %lld)\n", flag,
+                   static_cast<long long>(v));
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(v);
+  };
+  const auto jobs = positive("jobs");
+  const auto instances = positive("instances");
+  const auto n = positive("n");
+  const auto iterations = positive("iterations");
+  const auto sweeps = positive("sweeps");
+
+  const auto templates = make_mixed_stream(instances, n);
+  std::printf("service_throughput: %zu jobs over %zu instances (n=%zu, "
+              "%zu iter x %zu MCS), %zu hardware threads\n",
+              jobs, instances, n, iterations, sweeps,
+              util::hardware_threads());
+
+  // -------------------------------------------------------- scaling phase
+  const std::size_t worker_counts[] = {1, 4, 8};
+  double jobs_per_sec[3] = {0, 0, 0};
+  std::string workers_json = "[";
+  for (std::size_t w = 0; w < 3; ++w) {
+    service::ServiceOptions options;
+    options.workers = worker_counts[w];
+    options.cache_capacity = 0;  // measure compute, not replay
+    service::SolveService svc(options);
+    const double seconds =
+        run_wave(svc, templates, jobs, iterations, sweeps,
+                 /*use_cache=*/false, /*unique_seeds=*/true);
+    jobs_per_sec[w] = static_cast<double>(jobs) / seconds;
+    std::printf("  %zu worker%s: %6.2f jobs/sec (%.2fs)\n", worker_counts[w],
+                worker_counts[w] == 1 ? " " : "s", jobs_per_sec[w], seconds);
+    util::JsonWriter row;
+    row.field("workers", static_cast<std::uint64_t>(worker_counts[w]))
+        .field("jobs_per_sec", jobs_per_sec[w])
+        .field("seconds", seconds);
+    workers_json += (w ? "," : "") + row.str();
+  }
+  workers_json += "]";
+  const double scaling_1_to_4 =
+      jobs_per_sec[0] > 0 ? jobs_per_sec[1] / jobs_per_sec[0] : 0.0;
+  std::printf("  scaling 1 -> 4 workers: %.2fx\n", scaling_1_to_4);
+
+  // ---------------------------------------------------------- cache phase
+  service::ServiceOptions cache_options;
+  cache_options.workers = 4;
+  cache_options.cache_capacity = 256;
+  service::SolveService cached(cache_options);
+  const double cold_seconds =
+      run_wave(cached, templates, jobs, iterations, sweeps,
+               /*use_cache=*/true, /*unique_seeds=*/false);
+  const double warm_seconds =
+      run_wave(cached, templates, jobs, iterations, sweeps,
+               /*use_cache=*/true, /*unique_seeds=*/false);
+  const auto stats = cached.stats();
+  const double hit_rate = stats.cache.hit_rate();
+  std::printf("  mixed stream x2: cold %.2fs, warm %.2fs, cache hit-rate "
+              "%.2f (%llu coalesced)\n",
+              cold_seconds, warm_seconds, hit_rate,
+              static_cast<unsigned long long>(stats.coalesced));
+
+  util::JsonWriter cache_json;
+  cache_json.field("hit_rate", hit_rate)
+      .field("cold_seconds", cold_seconds)
+      .field("warm_seconds", warm_seconds)
+      .field("warm_jobs_per_sec",
+             warm_seconds > 0 ? static_cast<double>(jobs) / warm_seconds
+                              : 0.0)
+      .field("coalesced", stats.coalesced)
+      .field("hits", stats.cache.hits)
+      .field("misses", stats.cache.misses);
+
+  util::JsonWriter doc;
+  doc.field("bench", "service_throughput")
+      .field("jobs", static_cast<std::uint64_t>(jobs))
+      .field("instances", static_cast<std::uint64_t>(instances))
+      .field("n", static_cast<std::uint64_t>(n))
+      .field("iterations", static_cast<std::uint64_t>(iterations))
+      .field("sweeps", static_cast<std::uint64_t>(sweeps))
+      .field("hardware_threads",
+             static_cast<std::uint64_t>(util::hardware_threads()))
+      .raw_field("workers", workers_json)
+      .field("scaling_1_to_4", scaling_1_to_4)
+      .raw_field("cache", cache_json.str());
+
+  const std::string out_path = args.get("out");
+  std::ofstream out(out_path);
+  out << doc.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -12,6 +12,9 @@ std::vector<RunResult> IsingSolverBackend::run_batch(util::Xoshiro256pp& rng,
   std::vector<RunResult> results;
   results.reserve(replicas);
   for (std::size_t r = 0; r < replicas; ++r) {
+    // Sequential batches stop between runs: what already ran is returned
+    // as a partial batch (the caller sees fewer replicas).
+    if (r > 0 && stop_token().stop_requested()) break;
     results.push_back(run(rng));
   }
   return results;
@@ -19,8 +22,10 @@ std::vector<RunResult> IsingSolverBackend::run_batch(util::Xoshiro256pp& rng,
 
 std::vector<RunResult> run_replicas_parallel(
     const std::function<RunResult(util::Xoshiro256pp&)>& run_one,
-    util::Xoshiro256pp& rng, std::size_t replicas, std::size_t threads) {
-  const std::uint64_t base = rng();
+    util::Xoshiro256pp& rng, std::size_t replicas, std::size_t threads,
+    const util::StopToken& stop) {
+  const std::uint64_t base = rng();  // always advance the caller's stream
+  if (stop.stop_requested()) return {};
   std::vector<RunResult> results(replicas);
   util::parallel_for(
       replicas,
@@ -49,10 +54,11 @@ RunResult PBitBackend::run(util::Xoshiro256pp& rng) {
   if (!machine_) {
     throw std::logic_error("PBitBackend::run called before bind()");
   }
+  pbit::AnnealOptions opts = options_;
+  opts.stop = &stop_token();  // chunked stop checks inside the anneal loop
   auto r = warm_restart_ && previous_state_.size() == machine_->n()
-               ? machine_->anneal_from(previous_state_, schedule_, options_,
-                                       rng)
-               : machine_->anneal(schedule_, options_, rng);
+               ? machine_->anneal_from(previous_state_, schedule_, opts, rng)
+               : machine_->anneal(schedule_, opts, rng);
   if (warm_restart_) previous_state_ = r.last;
   return RunResult{std::move(r.last), r.last_energy, std::move(r.best),
                    r.best_energy, r.sweeps};
@@ -66,13 +72,15 @@ std::vector<RunResult> PBitBackend::run_batch(util::Xoshiro256pp& rng,
   if (warm_restart_) {
     return IsingSolverBackend::run_batch(rng, replicas);
   }
+  pbit::AnnealOptions opts = options_;
+  opts.stop = &stop_token();
   return run_replicas_parallel(
-      [this](util::Xoshiro256pp& replica_rng) {
-        auto r = machine_->anneal(schedule_, options_, replica_rng);
+      [this, &opts](util::Xoshiro256pp& replica_rng) {
+        auto r = machine_->anneal(schedule_, opts, replica_rng);
         return RunResult{std::move(r.last), r.last_energy, std::move(r.best),
                          r.best_energy, r.sweeps};
       },
-      rng, replicas, batch_threads());
+      rng, replicas, batch_threads(), stop_token());
 }
 
 }  // namespace saim::anneal

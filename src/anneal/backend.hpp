@@ -22,6 +22,7 @@
 #include "pbit/pbit_machine.hpp"
 #include "pbit/schedule.hpp"
 #include "util/rng.hpp"
+#include "util/stop_token.hpp"
 
 namespace saim::anneal {
 
@@ -66,6 +67,22 @@ class IsingSolverBackend {
     return batch_threads_;
   }
 
+  /// Cooperative cancellation: SaimSolver installs the solve's StopToken
+  /// here before the outer loop and clears it afterwards. Backends poll it
+  /// at coarse points only — between the runs of a sequential batch, at
+  /// batch entry for the parallel path, and between sweep chunks inside
+  /// the p-bit anneal — so a default (never-stopping) token adds nothing
+  /// to the hot loop. Bit-reproducibility holds for any batch that
+  /// finishes without observing a stop; once a stop fires, replicas may
+  /// truncate at timing-dependent sweep counts, which is why stopped
+  /// solves are tagged with a non-kCompleted Status and never cached.
+  void set_stop_token(util::StopToken token) noexcept {
+    stop_token_ = std::move(token);
+  }
+  [[nodiscard]] const util::StopToken& stop_token() const noexcept {
+    return stop_token_;
+  }
+
   /// MCS consumed per run() call — used for sample-budget accounting
   /// (Fig. 4b compares methods at equal MCS).
   [[nodiscard]] virtual std::size_t sweeps_per_run() const = 0;
@@ -74,6 +91,7 @@ class IsingSolverBackend {
 
  private:
   std::size_t batch_threads_ = 0;
+  util::StopToken stop_token_;
 };
 
 /// Shared implementation of the deterministic parallel run_batch contract:
@@ -81,10 +99,18 @@ class IsingSolverBackend {
 /// with a fresh Xoshiro256pp(derive_seed(base, r)) over util::parallel_for.
 /// `run_one` must be safe to invoke concurrently (all in-repo sweep
 /// engines are: they only read the bound model/adjacency).
+///
+/// `stop` is checked once at entry: a batch whose stop already fired
+/// returns empty instead of starting. A batch that did start runs every
+/// replica — but a stop firing mid-batch may still truncate individual
+/// replicas inside `run_one` (e.g. the p-bit anneal's chunked checks), so
+/// only batches that complete without observing a stop are bit-identical
+/// across thread counts. The base value is drawn from `rng` regardless,
+/// so the caller's RNG stream position does not depend on stop timing.
 std::vector<RunResult> run_replicas_parallel(
     const std::function<RunResult(util::Xoshiro256pp&)>& run_one,
     util::Xoshiro256pp& rng, std::size_t replicas,
-    std::size_t threads = 0);
+    std::size_t threads = 0, const util::StopToken& stop = {});
 
 /// The paper's backend: p-bit machine annealed with a (linear) beta ramp.
 class PBitBackend final : public IsingSolverBackend {

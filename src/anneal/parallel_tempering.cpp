@@ -135,7 +135,7 @@ std::vector<RunResult> ParallelTemperingBackend::run_batch(
       [this](util::Xoshiro256pp& replica_rng) {
         return pt_->run(replica_rng);
       },
-      rng, replicas, batch_threads());
+      rng, replicas, batch_threads(), stop_token());
 }
 
 }  // namespace saim::anneal

@@ -84,7 +84,7 @@ std::vector<RunResult> MetropolisSaBackend::run_batch(
       [this](util::Xoshiro256pp& replica_rng) {
         return sa_->run(schedule_, options_, replica_rng);
       },
-      rng, replicas, batch_threads());
+      rng, replicas, batch_threads(), stop_token());
 }
 
 }  // namespace saim::anneal

@@ -123,7 +123,7 @@ std::vector<RunResult> SqaBackend::run_batch(util::Xoshiro256pp& rng,
       [this](util::Xoshiro256pp& replica_rng) {
         return sqa_->run(replica_rng);
       },
-      rng, replicas, batch_threads());
+      rng, replicas, batch_threads(), stop_token());
 }
 
 }  // namespace saim::anneal

@@ -103,7 +103,7 @@ std::vector<RunResult> TabuBackend::run_batch(util::Xoshiro256pp& rng,
       [this](util::Xoshiro256pp& replica_rng) {
         return tabu_->run(replica_rng);
       },
-      rng, replicas, batch_threads());
+      rng, replicas, batch_threads(), stop_token());
 }
 
 std::size_t TabuBackend::sweeps_per_run() const {

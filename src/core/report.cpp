@@ -1,7 +1,10 @@
 #include "core/report.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+
+#include "util/jsonl.hpp"
 
 namespace saim::core {
 
@@ -60,6 +63,34 @@ void report_result(util::CsvWriter& csv, const ReportRow& row,
                  std::to_string(result.total_runs),
                  std::to_string(result.total_sweeps),
                  format_double(row.seconds), tts_field});
+}
+
+std::string result_to_jsonl(const SolveResult& result,
+                            const JsonlContext& context) {
+  char fingerprint_hex[19];
+  std::snprintf(fingerprint_hex, sizeof fingerprint_hex, "%016llx",
+                static_cast<unsigned long long>(context.fingerprint));
+
+  util::JsonWriter json;
+  json.field("id", context.id)
+      .field("instance", context.instance)
+      .field("backend", context.backend)
+      .field("status", to_string(result.status))
+      .field("found_feasible", result.found_feasible);
+  if (result.found_feasible) {
+    json.field("best_cost", result.best_cost);
+  } else {
+    json.raw_field("best_cost", "null");
+  }
+  json.field("feasible_count",
+             static_cast<std::uint64_t>(result.feasible_count))
+      .field("feasibility_rate", result.feasibility_rate())
+      .field("iterations", static_cast<std::uint64_t>(result.total_runs))
+      .field("total_sweeps", static_cast<std::uint64_t>(result.total_sweeps))
+      .field("wall_ms", context.wall_ms)
+      .field("cache_hit", context.cache_hit)
+      .field("fingerprint", fingerprint_hex);
+  return json.str();
 }
 
 }  // namespace saim::core

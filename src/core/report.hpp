@@ -29,4 +29,22 @@ void write_report_header(util::CsvWriter& csv);
 void report_result(util::CsvWriter& csv, const ReportRow& row,
                    const SolveResult& result);
 
+/// Serving-side metadata accompanying one JSONL result line.
+struct JsonlContext {
+  std::string id;        ///< job id echoed from the request line
+  std::string instance;  ///< instance name / path
+  std::string backend;   ///< backend name the job ran on
+  double wall_ms = 0.0;
+  bool cache_hit = false;
+  std::uint64_t fingerprint = 0;
+};
+
+/// One-line JSON summary of a solve — the line format saim_serve streams
+/// and bench/service_throughput aggregates: id, instance, backend, status,
+/// found_feasible, best_cost (null when no feasible sample), feasible
+/// count, iterations (outer runs), total MCS, wall time, cache_hit and the
+/// request fingerprint (hex). No trailing newline.
+std::string result_to_jsonl(const SolveResult& result,
+                            const JsonlContext& context);
+
 }  // namespace saim::core

@@ -13,6 +13,27 @@
 
 namespace saim::core {
 
+/// How a solve ended. Anything but kCompleted means the result is partial:
+/// only the outer iterations finished before the stop carry samples, but
+/// every field (best feasible sample, counters, history) is still valid
+/// for the work actually done.
+enum class Status {
+  kCompleted,  ///< ran its full iteration budget (or converged early)
+  kDeadline,   ///< stopped by an expired StopToken deadline
+  kCancelled,  ///< stopped by an explicit StopSource::request_stop()
+  kError,      ///< aborted by an execution error (service-level only)
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kCompleted: return "completed";
+    case Status::kDeadline: return "deadline";
+    case Status::kCancelled: return "cancelled";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
 /// One outer iteration (one SA run of the inner Ising machine).
 struct IterationRecord {
   std::size_t iteration = 0;
@@ -24,6 +45,7 @@ struct IterationRecord {
 };
 
 struct SolveResult {
+  Status status = Status::kCompleted;
   bool found_feasible = false;
   ising::Bits best_x;  ///< decision bits of the best feasible sample
   double best_cost = std::numeric_limits<double>::infinity();  ///< raw cost

@@ -38,8 +38,24 @@ double SaimSolver::step_size(std::size_t k) const noexcept {
 }
 
 SolveResult SaimSolver::solve(const SampleEvaluator& evaluate) {
+  return solve(evaluate, util::StopToken{});
+}
+
+namespace {
+/// Restores the backend's idle (never-stopping) token even on exceptions.
+struct BackendStopGuard {
+  anneal::IsingSolverBackend* backend;
+  ~BackendStopGuard() { backend->set_stop_token(util::StopToken{}); }
+};
+}  // namespace
+
+SolveResult SaimSolver::solve(const SampleEvaluator& evaluate,
+                              util::StopToken stop) {
   const SampleEvaluator& judge =
       evaluate ? evaluate : make_equality_evaluator(*problem_);
+
+  backend_->set_stop_token(stop);
+  BackendStopGuard stop_guard{backend_};
 
   util::Xoshiro256pp rng(options_.seed);
   std::vector<double> lambda(problem_->num_constraints(), 0.0);
@@ -51,12 +67,27 @@ SolveResult SaimSolver::solve(const SampleEvaluator& evaluate) {
   std::size_t converged_streak = 0;
 
   for (std::size_t k = 0; k < options_.iterations; ++k) {
+    // Cooperative stop, polled once per outer iteration so the inner
+    // Monte-Carlo loop stays unchanged. Everything gathered so far stays
+    // in the (partial) result.
+    if (stop.stop_requested()) {
+      result.status =
+          stop.cancelled() ? Status::kCancelled : Status::kDeadline;
+      break;
+    }
+
     // Minimize L_k with the Ising machine; read the measured sample(s).
     // replicas == 1 keeps the paper's single run() call (and its exact RNG
     // stream); replicas > 1 fans out through the backend's run_batch.
     std::vector<anneal::RunResult> runs;
     if (options_.replicas > 1) {
       runs = backend_->run_batch(rng, options_.replicas);
+      if (runs.empty()) {
+        // The batch refused to start because the stop fired in between.
+        result.status =
+            stop.cancelled() ? Status::kCancelled : Status::kDeadline;
+        break;
+      }
     } else {
       runs.push_back(backend_->run(rng));
     }
@@ -136,6 +167,14 @@ SolveResult SaimSolver::solve(const SampleEvaluator& evaluate) {
         converged_streak = 0;
       }
     }
+  }
+  // A stop that fired during the final inner run (truncating it) exits the
+  // loop without being re-polled above; without this check the result
+  // would claim kCompleted while being timing-dependent — and downstream
+  // caches would replay it. Conservatively mark any solve that observed a
+  // stop as stopped.
+  if (result.status == Status::kCompleted && stop.stop_requested()) {
+    result.status = stop.cancelled() ? Status::kCancelled : Status::kDeadline;
   }
   return result;
 }

@@ -22,6 +22,7 @@
 #include "core/result.hpp"
 #include "lagrange/lagrangian_model.hpp"
 #include "problems/constrained_problem.hpp"
+#include "util/stop_token.hpp"
 
 namespace saim::core {
 
@@ -86,6 +87,13 @@ class SaimSolver {
   /// instance; when omitted, feasibility falls back to |g(x)| <= tol on the
   /// normalized equality system and cost to normalized f(x).
   SolveResult solve(const SampleEvaluator& evaluate = nullptr);
+
+  /// As above with cooperative cancellation: `stop` is polled once per
+  /// outer iteration (and forwarded to the backend, which polls it between
+  /// sweep chunks), so a cancel or an expired deadline ends the dual ascent
+  /// within one inner run. The partial result carries everything gathered
+  /// up to the stop and a Status of kCancelled / kDeadline.
+  SolveResult solve(const SampleEvaluator& evaluate, util::StopToken stop);
 
   /// Effective penalty P in use (after the alpha d N heuristic).
   [[nodiscard]] double penalty() const noexcept { return model_.penalty(); }

@@ -77,8 +77,15 @@ AnnealResult PBitMachine::anneal_from(ising::Spins start,
     result.best_energy = lfs.energy();
   }
 
+  const std::size_t stop_interval =
+      options.stop_interval == 0 ? 1 : options.stop_interval;
   std::vector<std::uint32_t> scratch;
   for (std::size_t t = 0; t < options.sweeps; ++t) {
+    if (options.stop && t != 0 && t % stop_interval == 0 &&
+        options.stop->stop_requested()) {
+      result.sweeps = t;  // partial run: sweeps actually performed
+      break;
+    }
     const double beta = schedule.beta(t, options.sweeps);
     sweep(result.last, lfs, beta, options.order, rng, scratch);
     if (options.track_best && lfs.energy() < result.best_energy) {

@@ -22,6 +22,7 @@
 #include "ising/local_field.hpp"
 #include "pbit/schedule.hpp"
 #include "util/rng.hpp"
+#include "util/stop_token.hpp"
 
 namespace saim::pbit {
 
@@ -36,6 +37,13 @@ struct AnnealOptions {
   std::size_t sweeps = 1000;  ///< MCS per run (paper Table I: 1000)
   SweepOrder order = SweepOrder::kSequential;
   bool track_best = false;  ///< also record the lowest-energy state visited
+
+  /// Cooperative stop, polled every `stop_interval` sweeps (never inside a
+  /// sweep). On stop the run returns its current state as a valid partial
+  /// sample with `sweeps` reflecting the MCS actually performed. Null (the
+  /// default) keeps the anneal loop check-free.
+  const util::StopToken* stop = nullptr;
+  std::size_t stop_interval = 64;
 };
 
 struct AnnealResult {

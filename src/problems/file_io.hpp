@@ -1,0 +1,29 @@
+// Shared plumbing for the instance loaders' filesystem overloads: open a
+// path, hand the stream to the format-specific loader, and make sure every
+// failure — open or parse — names the offending file, so a bad path in a
+// long job stream is traceable.
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace saim::problems::detail {
+
+template <typename Loader>
+auto load_instance_file(const char* what, const std::string& path,
+                        Loader&& loader) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error(std::string(what) + ": cannot open '" + path +
+                             "'");
+  }
+  try {
+    return std::forward<Loader>(loader)(is);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " [file: " + path + "]");
+  }
+}
+
+}  // namespace saim::problems::detail

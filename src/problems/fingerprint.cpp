@@ -1,0 +1,33 @@
+#include "problems/fingerprint.hpp"
+
+namespace saim::problems {
+
+std::uint64_t fingerprint(const ConstrainedProblem& problem) {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(problem.n()));
+  fp.mix(static_cast<std::uint64_t>(problem.num_decision()));
+
+  const auto& objective = problem.objective();
+  fp.mix(objective.offset());
+  for (const double q : objective.linear_terms()) fp.mix(q);
+  // Couplings through the sparse upper-triangle walk: indices pin the
+  // positions, so permuted problems do not collide.
+  objective.for_each_quadratic([&](std::size_t i, std::size_t j, double v) {
+    fp.mix(static_cast<std::uint64_t>(i));
+    fp.mix(static_cast<std::uint64_t>(j));
+    fp.mix(v);
+  });
+
+  fp.mix(static_cast<std::uint64_t>(problem.num_constraints()));
+  for (const auto& row : problem.constraints()) {
+    fp.mix(static_cast<std::uint64_t>(row.terms.size()));
+    for (const auto& [index, coeff] : row.terms) {
+      fp.mix(static_cast<std::uint64_t>(index));
+      fp.mix(coeff);
+    }
+    fp.mix(row.rhs);
+  }
+  return fp.digest();
+}
+
+}  // namespace saim::problems

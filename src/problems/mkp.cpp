@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "problems/file_io.hpp"
 #include "util/rng.hpp"
 
 namespace saim::problems {
@@ -292,6 +293,33 @@ MkpInstance load_mkp_orlib(std::istream& is, std::string name,
   }
   return MkpInstance(std::move(name), std::move(values), std::move(weights),
                      std::move(capacities));
+}
+
+namespace {
+
+/// "dir/mknapcb1.txt" -> "mknapcb1": instance name from the file path.
+std::string basename_no_ext(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.erase(dot);
+  return base.empty() ? path : base;
+}
+
+}  // namespace
+
+MkpInstance load_mkp_orlib(const std::string& path,
+                           std::int64_t* known_optimum) {
+  return detail::load_instance_file(
+      "load_mkp_orlib", path, [&](std::istream& is) {
+        return load_mkp_orlib(is, basename_no_ext(path), known_optimum);
+      });
+}
+
+MkpInstance load_mkp(const std::string& path) {
+  return detail::load_instance_file(
+      "load_mkp", path, [](std::istream& is) { return load_mkp(is); });
 }
 
 }  // namespace saim::problems

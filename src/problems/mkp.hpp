@@ -121,4 +121,15 @@ MkpInstance load_mkp(std::istream& is);
 MkpInstance load_mkp_orlib(std::istream& is, std::string name,
                            std::int64_t* known_optimum = nullptr);
 
+/// Filesystem overload: opens `path` and parses the FIRST instance of the
+/// file (single-instance files, or the head of a concatenated mknapcb
+/// file). The instance is named after the file's basename (extension
+/// stripped); open failures and parse errors both name the file in the
+/// exception.
+MkpInstance load_mkp_orlib(const std::string& path,
+                           std::int64_t* known_optimum = nullptr);
+
+/// Filesystem overload of the plain-text load_mkp, same error contract.
+MkpInstance load_mkp(const std::string& path);
+
 }  // namespace saim::problems

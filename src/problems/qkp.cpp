@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "problems/file_io.hpp"
 #include "util/rng.hpp"
 
 namespace saim::problems {
@@ -322,6 +323,17 @@ QkpInstance load_qkp_billionnet(std::istream& is) {
   }
   return QkpInstance(std::move(name), std::move(values),
                      std::move(pair_values), std::move(weights), capacity);
+}
+
+QkpInstance load_qkp_billionnet(const std::string& path) {
+  return detail::load_instance_file(
+      "load_qkp_billionnet", path,
+      [](std::istream& is) { return load_qkp_billionnet(is); });
+}
+
+QkpInstance load_qkp(const std::string& path) {
+  return detail::load_instance_file(
+      "load_qkp", path, [](std::istream& is) { return load_qkp(is); });
 }
 
 }  // namespace saim::problems

@@ -122,4 +122,12 @@ QkpInstance load_qkp(std::istream& is);
 ///   instances through this library.
 QkpInstance load_qkp_billionnet(std::istream& is);
 
+/// Filesystem overload: opens `path` and parses it as Billionnet–Soutif.
+/// Open failures and parse errors both name the file in the exception, so
+/// a bad path in a 1000-line job stream is traceable.
+QkpInstance load_qkp_billionnet(const std::string& path);
+
+/// Filesystem overload of the plain-text load_qkp, same error contract.
+QkpInstance load_qkp(const std::string& path);
+
 }  // namespace saim::problems

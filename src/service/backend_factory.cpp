@@ -1,0 +1,51 @@
+#include "service/backend_factory.hpp"
+
+#include <stdexcept>
+
+#include "anneal/parallel_tempering.hpp"
+#include "anneal/simulated_annealing.hpp"
+#include "anneal/sqa.hpp"
+#include "anneal/tabu.hpp"
+#include "pbit/schedule.hpp"
+
+namespace saim::service {
+
+std::unique_ptr<anneal::IsingSolverBackend> make_backend(
+    const BackendSpec& spec) {
+  if (spec.name == "pbit") {
+    return std::make_unique<anneal::PBitBackend>(
+        pbit::Schedule::linear(spec.beta_max), spec.sweeps);
+  }
+  if (spec.name == "metropolis-sa") {
+    return std::make_unique<anneal::MetropolisSaBackend>(
+        pbit::Schedule::linear(spec.beta_max), spec.sweeps);
+  }
+  if (spec.name == "parallel-tempering") {
+    anneal::PtOptions options;
+    options.sweeps = spec.sweeps;
+    options.beta_max = spec.beta_max;
+    return std::make_unique<anneal::ParallelTemperingBackend>(options);
+  }
+  if (spec.name == "sqa") {
+    anneal::SqaOptions options;
+    options.sweeps = spec.sweeps;
+    return std::make_unique<anneal::SqaBackend>(options);
+  }
+  if (spec.name == "tabu") {
+    anneal::TabuOptions options;
+    options.steps = spec.sweeps;
+    return std::make_unique<anneal::TabuBackend>(options);
+  }
+  std::string known;
+  for (const auto& name : known_backends()) {
+    known += known.empty() ? name : ", " + name;
+  }
+  throw std::invalid_argument("make_backend: unknown backend '" + spec.name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::string> known_backends() {
+  return {"pbit", "metropolis-sa", "parallel-tempering", "sqa", "tabu"};
+}
+
+}  // namespace saim::service

@@ -1,0 +1,46 @@
+// Instance -> SolveRequest lowering shared by the serving front-ends
+// (tools/saim_serve, bench/service_throughput): build the normalized
+// ConstrainedProblem once, wrap the paper's raw-instance evaluator so it
+// keeps the instance alive, and hand back a request skeleton — backend,
+// options, priority and deadline stay at their defaults for the caller to
+// fill. The tag starts as the instance name (callers may overwrite it with
+// a job id).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/penalty_method.hpp"
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+#include "service/solve_service.hpp"
+
+namespace saim::service {
+
+inline SolveRequest request_for(
+    std::shared_ptr<const problems::QkpInstance> instance) {
+  SolveRequest request;
+  auto mapping = problems::qkp_to_problem(*instance);
+  request.problem = std::make_shared<problems::ConstrainedProblem>(
+      std::move(mapping.problem));
+  request.evaluator = [instance,
+                       ev = core::make_qkp_evaluator(*instance)](
+                          std::span<const std::uint8_t> x) { return ev(x); };
+  request.tag = instance->name();
+  return request;
+}
+
+inline SolveRequest request_for(
+    std::shared_ptr<const problems::MkpInstance> instance) {
+  SolveRequest request;
+  auto mapping = problems::mkp_to_problem(*instance);
+  request.problem = std::make_shared<problems::ConstrainedProblem>(
+      std::move(mapping.problem));
+  request.evaluator = [instance,
+                       ev = core::make_mkp_evaluator(*instance)](
+                          std::span<const std::uint8_t> x) { return ev(x); };
+  request.tag = instance->name();
+  return request;
+}
+
+}  // namespace saim::service

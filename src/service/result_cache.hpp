@@ -1,0 +1,63 @@
+// LRU cache of completed solve results, keyed by request fingerprint.
+//
+// Values are shared_ptr<const SolveResult>: a hit hands back the *same*
+// object the original computation produced, so cached results are
+// bit-identical to the first solve by construction (and tests can assert
+// "no recompute" by pointer equality). Only kCompleted results belong here
+// — the service never caches partial (cancelled/deadline) solves.
+// Thread-safe; all operations are O(1).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/result.hpp"
+
+namespace saim::service {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t lookups = hits + misses;
+      return lookups ? static_cast<double>(hits) /
+                           static_cast<double>(lookups)
+                     : 0.0;
+    }
+  };
+
+  /// capacity == 0 disables the cache (every lookup misses, puts drop).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and bumps it to most-recently-used, or
+  /// nullptr on miss. Counts toward stats either way.
+  std::shared_ptr<const core::SolveResult> get(std::uint64_t key);
+
+  /// Inserts/overwrites, evicting the least-recently-used entry when full.
+  void put(std::uint64_t key, std::shared_ptr<const core::SolveResult> value);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const core::SolveResult>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace saim::service

@@ -1,0 +1,438 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "problems/fingerprint.hpp"
+#include "util/timer.hpp"
+
+namespace saim::service {
+
+namespace detail {
+
+struct JobState {
+  std::uint64_t fingerprint = 0;
+  SolveRequest request;
+  util::StopSource stop;
+
+  /// Set once by the first worker (or shutdown) that claims the job; a
+  /// JobState may sit in the queue more than once (a coalescing submit
+  /// re-pushes a queued twin at a higher priority band), and this flag is
+  /// what makes the duplicates harmless.
+  std::atomic<bool> started{false};
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::shared_ptr<const SolveResponse> response;  ///< set exactly once
+
+  /// Handles sharing this computation (first submit + coalesced twins)
+  /// and how many of them voted to cancel. Guarded by `mutex` — cancel,
+  /// coalesce and handle teardown must see each other's updates in order,
+  /// or a cancel racing a coalesce could kill the new subscriber's job.
+  std::size_t subscribers = 1;
+  std::size_t cancel_votes = 0;
+
+  /// With `mutex` held: trips the stop iff no live subscriber still wants
+  /// the result and the job has not already finished.
+  void maybe_stop_locked() {
+    if (cancel_votes >= subscribers && response == nullptr) {
+      stop.request_stop();
+    }
+  }
+};
+
+}  // namespace detail
+
+using detail::JobState;
+
+// ---------------------------------------------------------------- JobHandle
+
+std::shared_ptr<const SolveResponse> JobHandle::wait() const {
+  if (!state_) return nullptr;  // invalid handles never block
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->response != nullptr; });
+  return state_->response;
+}
+
+std::shared_ptr<const SolveResponse> JobHandle::wait_for(
+    std::chrono::milliseconds timeout) const {
+  if (!state_) return nullptr;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait_for(lock, timeout,
+                      [this] { return state_->response != nullptr; });
+  return state_->response;
+}
+
+std::shared_ptr<const SolveResponse> JobHandle::try_get() const {
+  if (!state_) return nullptr;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->response;
+}
+
+bool JobHandle::cancel() {
+  if (!state_ || cancel_voted_) return false;
+  cancel_voted_ = true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  ++state_->cancel_votes;
+  if (state_->cancel_votes < state_->subscribers ||
+      state_->response != nullptr) {
+    return false;  // a twin still wants the result, or it's already done
+  }
+  state_->stop.request_stop();
+  return true;
+}
+
+void JobHandle::release() noexcept {
+  if (!state_) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!cancel_voted_) {
+      // A handle dropped without voting no longer counts toward the
+      // cancellation quorum — otherwise one discarded twin handle would
+      // disable cancel() for every remaining holder. If nobody is left at
+      // all, the job is abandoned and stops itself.
+      --state_->subscribers;
+      state_->maybe_stop_locked();
+    }
+  }
+  state_.reset();
+  cancel_voted_ = false;
+}
+
+JobHandle::~JobHandle() { release(); }
+
+JobHandle::JobHandle(JobHandle&& other) noexcept
+    : state_(std::move(other.state_)), cancel_voted_(other.cancel_voted_) {
+  other.cancel_voted_ = false;
+}
+
+JobHandle& JobHandle::operator=(JobHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    state_ = std::move(other.state_);
+    cancel_voted_ = other.cancel_voted_;
+    other.cancel_voted_ = false;
+  }
+  return *this;
+}
+
+std::uint64_t JobHandle::fingerprint() const noexcept {
+  return state_ ? state_->fingerprint : 0;
+}
+
+// ------------------------------------------------------------ SolveService
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.workers == 0 ? util::hardware_threads()
+                                 : options.workers) {
+  for (std::size_t w = 0; w < pool_.thread_count(); ++w) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+std::size_t SolveService::worker_count() const noexcept {
+  return pool_.thread_count();
+}
+
+namespace {
+
+/// Extends a problem content hash with the solve parameters.
+std::uint64_t request_fingerprint_with(std::uint64_t problem_fp,
+                                       const SolveRequest& request) {
+  problems::Fingerprint fp;
+  fp.mix(problem_fp);
+
+  fp.mix(request.backend.name);
+  fp.mix(static_cast<std::uint64_t>(request.backend.sweeps));
+  fp.mix(request.backend.beta_max);
+
+  const core::SaimOptions& o = request.options;
+  fp.mix(static_cast<std::uint64_t>(o.iterations));
+  fp.mix(o.eta);
+  fp.mix(o.penalty_alpha);
+  fp.mix(o.penalty);
+  fp.mix(static_cast<std::uint64_t>(o.step_rule));
+  fp.mix(o.seed);
+  fp.mix(static_cast<std::uint64_t>(o.replicas));
+  fp.mix(static_cast<std::uint64_t>(o.record_history));
+  fp.mix(static_cast<std::uint64_t>(o.use_best_sample));
+  fp.mix(static_cast<std::uint64_t>(o.collect_feasible_costs));
+  fp.mix(static_cast<std::uint64_t>(o.convergence_patience));
+  fp.mix(o.convergence_tol);
+  return fp.digest();
+}
+
+}  // namespace
+
+std::uint64_t SolveService::request_fingerprint(const SolveRequest& request) {
+  if (!request.problem) {
+    throw std::invalid_argument("request_fingerprint: null problem");
+  }
+  return request_fingerprint_with(problems::fingerprint(*request.problem),
+                                  request);
+}
+
+std::uint64_t SolveService::problem_fingerprint(
+    const std::shared_ptr<const problems::ConstrainedProblem>& problem) {
+  const void* key = problem.get();
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    const auto it = problem_fp_memo_.find(key);
+    if (it != problem_fp_memo_.end()) {
+      // The memo is only valid while the original object is alive — an
+      // expired weak_ptr means this address was freed and possibly reused
+      // by a different problem.
+      if (it->second.first.lock() == problem) return it->second.second;
+      problem_fp_memo_.erase(it);
+    }
+  }
+  const std::uint64_t fp = problems::fingerprint(*problem);
+  constexpr std::size_t kMemoCapacity = 1024;
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (problem_fp_memo_.size() >= kMemoCapacity) {
+    // Prune dead handles first; if every entry is still live (a huge
+    // all-distinct job stream), drop an arbitrary one — the memo is a
+    // cache, staying bounded beats keeping any particular entry.
+    for (auto it = problem_fp_memo_.begin(); it != problem_fp_memo_.end();) {
+      it = it->second.first.expired() ? problem_fp_memo_.erase(it)
+                                      : std::next(it);
+    }
+    if (problem_fp_memo_.size() >= kMemoCapacity) {
+      problem_fp_memo_.erase(problem_fp_memo_.begin());
+    }
+  }
+  problem_fp_memo_.emplace(key, std::make_pair(problem, fp));
+  return fp;
+}
+
+JobHandle SolveService::submit(SolveRequest request) {
+  if (!request.problem) {
+    throw std::invalid_argument("SolveService::submit: null problem");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fp =
+      request_fingerprint_with(problem_fingerprint(request.problem), request);
+
+  auto job = std::make_shared<JobState>();
+  job->fingerprint = fp;
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("SolveService::submit after shutdown");
+    }
+
+    if (request.use_cache) {
+      // Completed twin: serve the very SolveResult object computed the
+      // first time — bit-identical by construction, no recompute.
+      if (auto cached = cache_.get(fp)) {
+        auto response = std::make_shared<SolveResponse>();
+        response->result = std::move(cached);
+        response->status = response->result->status;
+        response->cache_hit = true;
+        response->fingerprint = fp;
+        response->tag = std::move(request.tag);
+        job->response = std::move(response);
+        return JobHandle(std::move(job));
+      }
+    }
+
+    // Running twin: join the in-flight computation instead of queueing a
+    // duplicate. The joiner keeps its own cancel vote via `subscribers`.
+    // Join only when the twin can still complete and neither side carries
+    // a deadline (timeouts are not fingerprinted, so coalescing across
+    // them would hand one caller the other's time budget) — otherwise
+    // fall through and compute independently.
+    if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+      if (auto twin = it->second.lock();
+          twin && twin->request.timeout.count() == 0 &&
+          request.timeout.count() == 0) {
+        bool joined = false;
+        {
+          // Same lock as cancel()/release(): either our subscription is
+          // visible before a cancel quorum is evaluated, or the stop is
+          // already requested and we decline — a joiner can never be
+          // handed a cancellation it did not vote for.
+          std::lock_guard<std::mutex> job_lock(twin->mutex);
+          if (!twin->stop.stop_requested()) {
+            ++twin->subscribers;
+            joined = true;
+          }
+        }
+        if (joined) {
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+          // No priority inversion: a joiner from a higher band re-pushes
+          // the still-queued twin there; the duplicate queue entry is
+          // skipped via JobState::started.
+          if (request.priority > twin->request.priority &&
+              !twin->started.load(std::memory_order_acquire)) {
+            queue_.push(twin, request.priority);
+          }
+          return JobHandle(std::move(twin));
+        }
+      }
+    }
+
+    job->request = std::move(request);
+    if (job->request.timeout.count() > 0) {
+      // Clamp before the ms -> steady_clock-tick (ns) conversion, which
+      // overflows int64 past ~292 years; a decade is indistinguishable
+      // from "no deadline" for a solve job.
+      constexpr std::chrono::milliseconds kMaxTimeout =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::hours(24 * 3650));
+      job->stop = util::StopSource::after(
+          std::min(job->request.timeout, kMaxTimeout));
+    }
+    // Register for coalescing only if the slot is free: a job that
+    // *declined* to join a live twin (deadline mismatch) must not evict
+    // that twin's entry — later deadline-free duplicates should still
+    // find and join the original.
+    if (auto& slot = inflight_[fp]; slot.expired()) slot = job;
+  }
+
+  if (!queue_.push(job, job->request.priority)) {
+    // Shutdown raced us between the lock and the push: fail the job the
+    // same way drained queue entries fail (stat included).
+    auto response = std::make_shared<SolveResponse>();
+    auto result = std::make_shared<core::SolveResult>();
+    result->status = core::Status::kCancelled;
+    response->result = std::move(result);
+    response->status = core::Status::kCancelled;
+    response->fingerprint = fp;
+    response->tag = job->request.tag;
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    finish(job, std::move(response));
+  }
+  return JobHandle(std::move(job));
+}
+
+void SolveService::worker_loop() {
+  while (auto job = queue_.pop()) {
+    // A job can appear in the queue more than once (priority re-push on
+    // coalesce); whoever flips `started` first owns it.
+    if ((*job)->started.exchange(true, std::memory_order_acq_rel)) continue;
+    execute(*job);
+  }
+}
+
+void SolveService::execute(const std::shared_ptr<JobState>& job) {
+  const SolveRequest& request = job->request;
+  const util::StopToken stop = job->stop.token();
+
+  auto response = std::make_shared<SolveResponse>();
+  response->fingerprint = job->fingerprint;
+  response->tag = request.tag;
+
+  util::WallTimer timer;
+  std::shared_ptr<core::SolveResult> result;
+  try {
+    auto backend = make_backend(request.backend);
+    backend->set_batch_threads(options_.backend_batch_threads);
+    core::SaimSolver solver(*request.problem, *backend, request.options);
+    result = std::make_shared<core::SolveResult>(
+        solver.solve(request.evaluator, stop));
+  } catch (const std::exception& e) {
+    result = std::make_shared<core::SolveResult>();
+    result->status = core::Status::kError;
+    response->error = e.what();
+  } catch (...) {
+    // User-supplied evaluators can throw anything; letting it escape the
+    // worker thread would terminate the whole service.
+    result = std::make_shared<core::SolveResult>();
+    result->status = core::Status::kError;
+    response->error = "unknown exception in solve job";
+  }
+  response->wall_ms = timer.milliseconds();
+  response->status = result->status;
+
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  switch (result->status) {
+    case core::Status::kCompleted:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::Status::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::Status::kDeadline:
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::Status::kError:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+
+  // Only full solves are worth replaying; partial (stopped) results depend
+  // on wall-clock timing and must never be served to a future request.
+  if (result->status == core::Status::kCompleted && request.use_cache) {
+    cache_.put(job->fingerprint, result);
+  }
+  response->result = std::move(result);
+  finish(job, std::move(response));
+}
+
+void SolveService::finish(const std::shared_ptr<JobState>& job,
+                          std::shared_ptr<const SolveResponse> response) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(job->fingerprint);
+    if (it != inflight_.end() && it->second.lock() == job) {
+      inflight_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->response = std::move(response);
+  }
+  job->cv.notify_all();
+}
+
+void SolveService::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      accepting_ = false;
+    }
+    // Fail everything still queued; running jobs finish cooperatively.
+    // Re-pushed duplicates of already-claimed jobs are skipped, same as
+    // in worker_loop.
+    for (auto& job : queue_.drain()) {
+      if (job->started.exchange(true, std::memory_order_acq_rel)) continue;
+      job->stop.request_stop();
+      auto response = std::make_shared<SolveResponse>();
+      auto result = std::make_shared<core::SolveResult>();
+      result->status = core::Status::kCancelled;
+      response->result = std::move(result);
+      response->status = core::Status::kCancelled;
+      response->fingerprint = job->fingerprint;
+      response->tag = job->request.tag;
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      finish(job, std::move(response));
+    }
+    queue_.close();
+    pool_.shutdown();
+  });
+}
+
+SolveService::Stats SolveService::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace saim::service

@@ -1,0 +1,213 @@
+// SolveService — in-process asynchronous SAIM solve service.
+//
+// The ROADMAP's serving story starts here: instead of blocking on
+// SaimSolver::solve, callers submit() SolveRequests and get back a
+// JobHandle future. The service owns
+//   * a persistent util::ThreadPool of solver workers,
+//   * a JobQueue with strict priority bands (FIFO within a band),
+//   * a content-keyed LRU ResultCache of completed results, and
+//   * an in-flight table that coalesces duplicate requests onto one
+//     computation.
+//
+// Requests share problem instances by shared_ptr (the shared-handle idiom:
+// many jobs over one instance, no copies), carry a priority, an optional
+// deadline, and a replica count, and are identified by a canonical 64-bit
+// fingerprint of (problem contents, backend spec, SaimOptions incl. seed).
+// Identical work is never done twice: a finished twin is served from the
+// cache (the *same* SolveResult object, bit-identical by construction) and
+// a running twin is joined in flight.
+//
+// Cancellation is cooperative end to end: JobHandle::cancel() (or an
+// expired deadline) trips the job's StopToken, which SaimSolver polls per
+// outer iteration and the p-bit anneal per sweep chunk, so the partial
+// result comes back with Status::kCancelled / kDeadline within one inner
+// run. shutdown() drains queued-but-unstarted jobs as kCancelled, lets
+// running jobs finish, and joins the workers; the destructor does the same.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/result.hpp"
+#include "core/saim_solver.hpp"
+#include "problems/constrained_problem.hpp"
+#include "service/backend_factory.hpp"
+#include "service/job_queue.hpp"
+#include "service/result_cache.hpp"
+#include "util/parallel.hpp"
+#include "util/stop_token.hpp"
+
+namespace saim::service {
+
+struct ServiceOptions {
+  /// Solver worker threads; 0 picks hardware_threads().
+  std::size_t workers = 0;
+  /// ResultCache entries; 0 disables caching entirely.
+  std::size_t cache_capacity = 256;
+  /// Thread cap for a job's own replica batches (SaimOptions::replicas).
+  /// Defaults to 1: with several workers running whole jobs in parallel,
+  /// per-job fan-out would only oversubscribe.
+  std::size_t backend_batch_threads = 1;
+};
+
+struct SolveRequest {
+  /// Shared instance handle; many requests may point at one problem.
+  std::shared_ptr<const problems::ConstrainedProblem> problem;
+  /// Judges samples against the raw instance (empty = the solver's
+  /// normalized-equality fallback). NOT part of the fingerprint: it must
+  /// be a pure function determined by `problem`'s originating instance.
+  core::SampleEvaluator evaluator;
+  BackendSpec backend;
+  core::SaimOptions options;  ///< includes seed and replica count
+  Priority priority = Priority::kNormal;
+  /// Wall-clock budget from submission; zero means none.
+  std::chrono::milliseconds timeout{0};
+  bool use_cache = true;
+  /// Echo-through label (job id / instance name); not fingerprinted.
+  std::string tag;
+};
+
+struct SolveResponse {
+  std::shared_ptr<const core::SolveResult> result;
+  core::Status status = core::Status::kCompleted;  ///< == result->status
+  bool cache_hit = false;
+  double wall_ms = 0.0;  ///< solve time; 0 for cache hits
+  std::uint64_t fingerprint = 0;
+  std::string tag;
+  std::string error;  ///< non-empty iff status == kError
+};
+
+namespace detail {
+struct JobState;
+}
+
+/// Future-like handle to a submitted job. Move-only: each handle holds one
+/// cancellation vote on the (possibly shared) underlying computation, and
+/// dropping a handle without voting withdraws it from the quorum — when
+/// the last handle of an unfinished job is dropped, the job is abandoned
+/// and cancels itself (keep the handle alive for fire-and-forget warming).
+class JobHandle {
+ public:
+  JobHandle() = default;
+  ~JobHandle();
+  JobHandle(JobHandle&& other) noexcept;
+  JobHandle& operator=(JobHandle&& other) noexcept;
+  JobHandle(const JobHandle&) = delete;
+  JobHandle& operator=(const JobHandle&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Blocks until the job finishes (completed, stopped, or failed).
+  /// Returns nullptr only on an invalid (default-constructed) handle, as
+  /// do wait_for() and try_get().
+  std::shared_ptr<const SolveResponse> wait() const;
+
+  /// Blocks up to `timeout`; nullptr if still running.
+  std::shared_ptr<const SolveResponse> wait_for(
+      std::chrono::milliseconds timeout) const;
+
+  /// Non-blocking; nullptr while the job is still running.
+  [[nodiscard]] std::shared_ptr<const SolveResponse> try_get() const;
+
+  /// Requests cooperative cancellation. When several handles share one
+  /// coalesced computation, the underlying solve is only stopped once
+  /// every handle has cancelled — one impatient caller cannot kill a twin
+  /// request's job. Returns true if this call tripped the stop.
+  bool cancel();
+
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+ private:
+  friend class SolveService;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state) noexcept
+      : state_(std::move(state)) {}
+
+  /// Withdraws this handle's subscription (see class comment) and resets.
+  void release() noexcept;
+
+  std::shared_ptr<detail::JobState> state_;
+  bool cancel_voted_ = false;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions options = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Enqueues a request (or serves it from cache / joins it onto an
+  /// in-flight twin). Throws std::invalid_argument on a null problem and
+  /// std::runtime_error after shutdown().
+  JobHandle submit(SolveRequest request);
+
+  /// Stops intake, completes queued-but-unstarted jobs as kCancelled,
+  /// waits for running jobs to finish, joins the workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;   ///< solves actually run on a worker
+    std::uint64_t completed = 0;  ///< executed with Status::kCompleted
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t coalesced = 0;  ///< submits joined onto an in-flight twin
+    ResultCache::Stats cache;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Canonical fingerprint of (problem contents, backend spec, options):
+  /// the cache/coalescing key. Exposed for tests and tooling.
+  [[nodiscard]] static std::uint64_t request_fingerprint(
+      const SolveRequest& request);
+
+ private:
+  void worker_loop();
+  void execute(const std::shared_ptr<detail::JobState>& job);
+  void finish(const std::shared_ptr<detail::JobState>& job,
+              std::shared_ptr<const SolveResponse> response);
+
+  /// Memoized problems::fingerprint keyed by instance address: a stream of
+  /// requests over one shared handle hashes the (possibly large) problem
+  /// content once, not once per submit. A weak_ptr per entry detects
+  /// address reuse after the instance dies, so stale memo hits are
+  /// impossible.
+  std::uint64_t problem_fingerprint(
+      const std::shared_ptr<const problems::ConstrainedProblem>& problem);
+
+  ServiceOptions options_;
+  std::mutex memo_mutex_;
+  std::unordered_map<
+      const void*,
+      std::pair<std::weak_ptr<const problems::ConstrainedProblem>,
+                std::uint64_t>>
+      problem_fp_memo_;
+  ResultCache cache_;
+  JobQueue<std::shared_ptr<detail::JobState>> queue_;
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, std::weak_ptr<detail::JobState>> inflight_;
+  bool accepting_ = true;  ///< guarded by inflight_mutex_
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+
+  std::once_flag shutdown_once_;
+  util::ThreadPool pool_;  ///< last member: workers die before the queues
+};
+
+}  // namespace saim::service

@@ -10,14 +10,22 @@ ArgParser::ArgParser(std::string program, std::string description)
 
 ArgParser& ArgParser::add_flag(const std::string& name, const std::string& help,
                                std::string default_value) {
-  if (!flags_.contains(name)) order_.push_back(name);
+  if (flags_.contains(name)) {
+    throw std::logic_error("ArgParser: duplicate flag registration --" +
+                           name);
+  }
+  order_.push_back(name);
   flags_[name] = Flag{help, std::move(default_value), false};
   return *this;
 }
 
 ArgParser& ArgParser::add_bool(const std::string& name,
                                const std::string& help) {
-  if (!flags_.contains(name)) order_.push_back(name);
+  if (flags_.contains(name)) {
+    throw std::logic_error("ArgParser: duplicate flag registration --" +
+                           name);
+  }
+  order_.push_back(name);
   flags_[name] = Flag{help, "false", true};
   return *this;
 }
@@ -29,6 +37,7 @@ std::optional<ArgParser::Flag*> ArgParser::find(const std::string& name) {
 }
 
 bool ArgParser::parse(int argc, const char* const* argv) {
+  error_.clear();
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -36,8 +45,8 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n%s", arg.c_str(),
-                   usage().c_str());
+      error_ = "unexpected argument: " + arg;
+      std::fprintf(stderr, "%s\n%s", error_.c_str(), usage().c_str());
       return false;
     }
     arg.erase(0, 2);
@@ -50,8 +59,8 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     }
     auto flag = find(arg);
     if (!flag) {
-      std::fprintf(stderr, "unknown flag: --%s\n%s", arg.c_str(),
-                   usage().c_str());
+      error_ = "unknown flag: --" + arg;
+      std::fprintf(stderr, "%s\n%s", error_.c_str(), usage().c_str());
       return false;
     }
     if ((*flag)->is_bool) {
@@ -59,7 +68,8 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     } else {
       if (!has_value) {
         if (i + 1 >= argc) {
-          std::fprintf(stderr, "flag --%s expects a value\n", arg.c_str());
+          error_ = "flag --" + arg + " expects a value";
+          std::fprintf(stderr, "%s\n", error_.c_str());
           return false;
         }
         value = argv[++i];

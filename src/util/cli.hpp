@@ -17,13 +17,20 @@ class ArgParser {
   ArgParser(std::string program, std::string description);
 
   /// Registers a flag with a default value; returns *this for chaining.
+  /// Throws std::logic_error on a duplicate registration (a silently
+  /// clobbered default is a bug at the call site, not a user error).
   ArgParser& add_flag(const std::string& name, const std::string& help,
                       std::string default_value);
   ArgParser& add_bool(const std::string& name, const std::string& help);
 
   /// Parses argv. Returns false (and prints usage) on --help or on a parse
-  /// error such as an unknown flag.
+  /// error such as an unknown flag; error() then carries the message,
+  /// naming the offending flag.
   bool parse(int argc, const char* const* argv);
+
+  /// The last parse error ("unknown flag: --bogus", ...); empty after a
+  /// successful parse or plain --help.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
 
   [[nodiscard]] std::string get(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
@@ -43,6 +50,7 @@ class ArgParser {
 
   std::string program_;
   std::string description_;
+  std::string error_;
   std::map<std::string, Flag> flags_;
   std::vector<std::string> order_;
 };

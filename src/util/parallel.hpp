@@ -1,21 +1,63 @@
-// Minimal deterministic fork-join parallelism for replica batches.
+// Thread-pool parallelism shared by replica batches and the solve service.
 //
-// parallel_for(count, fn) runs fn(0..count-1) across a transient pool of
-// std::threads pulling indices from an atomic counter. Work items must be
-// independent; anything whose output depends only on its index (e.g. a
-// replica seeded with derive_seed(base, index)) produces bit-identical
-// results regardless of thread count — the property run_batch tests rely
-// on. The first exception thrown by any item cancels the items not yet
-// started and is rethrown on the calling thread after the join.
+// ThreadPool is a persistent fixed-size worker pool with a FIFO task queue:
+// SolveService keeps one alive for its whole lifetime so per-job latency
+// never includes thread spawn cost. shutdown() (also run by the destructor)
+// stops intake, drains the tasks already queued, and joins the workers.
+//
+// parallel_for(count, fn) keeps its PR-1 contract as a thin wrapper: it
+// runs fn(0..count-1) across a transient ThreadPool, pulling indices from
+// an atomic counter. Work items must be independent; anything whose output
+// depends only on its index (e.g. a replica seeded with derive_seed(base,
+// index)) produces bit-identical results regardless of thread count — the
+// property run_batch tests rely on. The first exception thrown by any item
+// cancels the items not yet started and is rethrown on the calling thread
+// after the join.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace saim::util {
 
 /// max(1, std::thread::hardware_concurrency()).
 [[nodiscard]] std::size_t hardware_threads() noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task for the next free worker. Throws std::runtime_error
+  /// after shutdown() has begun.
+  void submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs everything already queued, joins the
+  /// workers. Idempotent; called by the destructor.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
 
 /// Runs fn(i) for i in [0, count). `threads` == 0 picks
 /// hardware_threads(); the effective pool is min(threads, count), and a

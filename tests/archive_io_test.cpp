@@ -3,6 +3,8 @@
 // files written in the exact published layouts.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "problems/mkp.hpp"
@@ -10,6 +12,21 @@
 
 namespace saim::problems {
 namespace {
+
+/// Writes `content` to a temp file, removed on destruction.
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& content)
+      : path_(::testing::TempDir() + name) {
+    std::ofstream os(path_);
+    os << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
 
 TEST(BillionnetIo, ParsesCanonicalLayout) {
   // 3 items: linear 10 20 30; triangle W01=5 W02=0 W12=7; type 0;
@@ -112,6 +129,84 @@ TEST(OrLibIo, RejectsBadHeaders) {
   EXPECT_THROW(load_mkp_orlib(zero, "x"), std::runtime_error);
   std::stringstream truncated("2 1 0\n5 6\n1\n");
   EXPECT_THROW(load_mkp_orlib(truncated, "x"), std::runtime_error);
+}
+
+// ----------------------------------------------------- filesystem overloads
+
+TEST(BillionnetIo, LoadsFromFilePath) {
+  const TempFile file("saim_qkp_billionnet.txt",
+                      "jeu_io\n3\n10 20 30\n5 0\n7\n0\n5\n2 3 4\n");
+  const auto inst = load_qkp_billionnet(file.path());
+  EXPECT_EQ(inst.name(), "jeu_io");
+  EXPECT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.pair_value(1, 2), 7);
+}
+
+TEST(BillionnetIo, MissingFileErrorNamesThePath) {
+  const std::string path = "/nonexistent-dir-xyz/jeu_1.txt";
+  try {
+    load_qkp_billionnet(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BillionnetIo, ParseErrorFromFileNamesThePath) {
+  const TempFile file("saim_qkp_truncated.txt", "x\n3\n1 2 3\n");
+  try {
+    load_qkp_billionnet(file.path());
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(file.path()), std::string::npos) << what;
+    EXPECT_NE(what.find("load_qkp_billionnet"), std::string::npos);
+  }
+}
+
+TEST(OrLibIo, LoadsFromFilePathAndNamesInstanceAfterFile) {
+  const TempFile file("mknapcb_unit.txt", "3 2 99\n6 10 12\n1 2 3\n4 2 1\n4 5\n");
+  std::int64_t opt = 0;
+  const auto inst = load_mkp_orlib(file.path(), &opt);
+  EXPECT_EQ(opt, 99);
+  EXPECT_EQ(inst.name(), "mknapcb_unit");  // basename, extension stripped
+  EXPECT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.m(), 2u);
+}
+
+TEST(OrLibIo, MissingFileErrorNamesThePath) {
+  EXPECT_THROW(
+      {
+        try {
+          load_mkp_orlib("/nonexistent-dir-xyz/mknapcb1.txt");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(
+              std::string(e.what()).find("/nonexistent-dir-xyz/mknapcb1.txt"),
+              std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(NativeIo, FileOverloadsRoundTrip) {
+  const auto qkp = make_paper_qkp(12, 50, 2);
+  std::stringstream qs;
+  save_qkp(qs, qkp);
+  const TempFile qfile("saim_native.qkp", qs.str());
+  const auto qkp_loaded = load_qkp(qfile.path());
+  EXPECT_EQ(qkp_loaded.name(), qkp.name());
+  EXPECT_EQ(qkp_loaded.capacity(), qkp.capacity());
+
+  const auto mkp = make_paper_mkp(10, 3, 2);
+  std::stringstream ms;
+  save_mkp(ms, mkp);
+  const TempFile mfile("saim_native.mkp", ms.str());
+  const auto mkp_loaded = load_mkp(mfile.path());
+  EXPECT_EQ(mkp_loaded.n(), mkp.n());
+  EXPECT_EQ(mkp_loaded.m(), mkp.m());
+  EXPECT_EQ(mkp_loaded.capacity(1), mkp.capacity(1));
 }
 
 }  // namespace

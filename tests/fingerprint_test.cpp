@@ -1,0 +1,130 @@
+#include "problems/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+#include "service/solve_service.hpp"
+
+namespace saim {
+namespace {
+
+problems::ConstrainedProblem qkp_problem(int index = 1) {
+  const auto inst = problems::make_paper_qkp(30, 50, index);
+  return problems::qkp_to_problem(inst).problem;
+}
+
+TEST(Fingerprint, HasherIsDeterministic) {
+  problems::Fingerprint a;
+  a.mix(std::uint64_t{42}).mix(3.25).mix("hello");
+  problems::Fingerprint b;
+  b.mix(std::uint64_t{42}).mix(3.25).mix("hello");
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, HasherIsOrderSensitive) {
+  problems::Fingerprint a;
+  a.mix(std::uint64_t{1}).mix(std::uint64_t{2});
+  problems::Fingerprint b;
+  b.mix(std::uint64_t{2}).mix(std::uint64_t{1});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, StringBoundariesMatter) {
+  // ("ab","c") must not collide with ("a","bc"): length is mixed first.
+  problems::Fingerprint a;
+  a.mix("ab").mix("c");
+  problems::Fingerprint b;
+  b.mix("a").mix("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, SignedZeroCollapses) {
+  problems::Fingerprint a;
+  a.mix(0.0);
+  problems::Fingerprint b;
+  b.mix(-0.0);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, SameContentsSameFingerprint) {
+  // Two independently built problems from the same instance agree — the
+  // property that makes the service cache content-keyed.
+  const auto p1 = qkp_problem();
+  const auto p2 = qkp_problem();
+  EXPECT_EQ(problems::fingerprint(p1), problems::fingerprint(p2));
+}
+
+TEST(Fingerprint, RoundTrippedInstanceAgrees) {
+  const auto inst = problems::make_paper_qkp(25, 50, 3);
+  std::stringstream ss;
+  problems::save_qkp(ss, inst);
+  const auto reloaded = problems::load_qkp(ss);
+  EXPECT_EQ(
+      problems::fingerprint(problems::qkp_to_problem(inst).problem),
+      problems::fingerprint(problems::qkp_to_problem(reloaded).problem));
+}
+
+TEST(Fingerprint, DifferentInstancesDiffer) {
+  EXPECT_NE(problems::fingerprint(qkp_problem(1)),
+            problems::fingerprint(qkp_problem(2)));
+}
+
+TEST(Fingerprint, QkpAndMkpDiffer) {
+  const auto mkp = problems::make_paper_mkp(30, 5, 1);
+  EXPECT_NE(problems::fingerprint(qkp_problem()),
+            problems::fingerprint(problems::mkp_to_problem(mkp).problem));
+}
+
+service::SolveRequest base_request() {
+  service::SolveRequest request;
+  request.problem =
+      std::make_shared<problems::ConstrainedProblem>(qkp_problem());
+  request.options.iterations = 10;
+  return request;
+}
+
+TEST(RequestFingerprint, StableAcrossIdenticalRequests) {
+  EXPECT_EQ(service::SolveService::request_fingerprint(base_request()),
+            service::SolveService::request_fingerprint(base_request()));
+}
+
+TEST(RequestFingerprint, SensitiveToEverySolveParameter) {
+  const auto base = service::SolveService::request_fingerprint(base_request());
+
+  auto seed = base_request();
+  seed.options.seed = 7;
+  EXPECT_NE(base, service::SolveService::request_fingerprint(seed));
+
+  auto backend = base_request();
+  backend.backend.name = "tabu";
+  EXPECT_NE(base, service::SolveService::request_fingerprint(backend));
+
+  auto sweeps = base_request();
+  sweeps.backend.sweeps = 123;
+  EXPECT_NE(base, service::SolveService::request_fingerprint(sweeps));
+
+  auto eta = base_request();
+  eta.options.eta = 0.05;
+  EXPECT_NE(base, service::SolveService::request_fingerprint(eta));
+
+  auto replicas = base_request();
+  replicas.options.replicas = 4;
+  EXPECT_NE(base, service::SolveService::request_fingerprint(replicas));
+}
+
+TEST(RequestFingerprint, IgnoresServingOnlyFields) {
+  const auto base = service::SolveService::request_fingerprint(base_request());
+
+  auto req = base_request();
+  req.priority = service::Priority::kHigh;
+  req.timeout = std::chrono::milliseconds(500);
+  req.tag = "some-label";
+  req.use_cache = false;
+  EXPECT_EQ(base, service::SolveService::request_fingerprint(req));
+}
+
+}  // namespace
+}  // namespace saim

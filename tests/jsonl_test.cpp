@@ -1,0 +1,154 @@
+#include "util/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/report.hpp"
+#include "core/result.hpp"
+
+namespace saim {
+namespace {
+
+// ----------------------------------------------------------------- parse
+
+TEST(JsonParse, FlatObject) {
+  const auto v = util::parse_json(
+      R"({"id":"j1","iterations":200,"eta":0.05,"cache":true,"x":null})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("id")->as_string(), "j1");
+  EXPECT_EQ(v.find("iterations")->as_int(), 200);
+  EXPECT_DOUBLE_EQ(v.find("eta")->as_double(), 0.05);
+  EXPECT_TRUE(v.find("cache")->as_bool());
+  EXPECT_TRUE(v.find("x")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto v = util::parse_json(R"({"a":{"b":[1,2,3]},"c":[{"d":-1.5e2}]})");
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->find("b")->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->find("b")->array()[1].as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(v.find("c")->array()[0].find("d")->as_double(), -150.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = util::parse_json(R"({"s":"a\"b\\c\n\tAé"})");
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, SurrogatePair) {
+  // U+1F600 escaped as a surrogate pair -> 4-byte UTF-8.
+  const auto v = util::parse_json(R"(["\ud83d\ude00"])");
+  EXPECT_EQ(v.array()[0].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const auto v = util::parse_json("  { \"a\" :\t[ 1 , 2 ] }\r\n");
+  EXPECT_EQ(v.find("a")->array().size(), 2u);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(util::parse_json(""), std::runtime_error);
+  EXPECT_THROW(util::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(util::parse_json("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(util::parse_json("{} trailing"), std::runtime_error);
+  EXPECT_THROW(util::parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(util::parse_json("truthy"), std::runtime_error);
+  EXPECT_THROW(util::parse_json("1.2.3"), std::runtime_error);
+  EXPECT_THROW(util::parse_json(R"("lone \ud800")"), std::runtime_error);
+}
+
+TEST(JsonParse, ErrorNamesByteOffset) {
+  try {
+    util::parse_json(R"({"a": nope})");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, TypedAccessorsDoNotCoerce) {
+  const auto v = util::parse_json(R"({"n": 5, "s": "x"})");
+  EXPECT_EQ(v.find("s")->as_int(42), 42);      // string is not a number
+  EXPECT_EQ(v.find("n")->as_string(), "");     // number is not a string
+  EXPECT_FALSE(v.find("n")->as_bool(false));   // number is not a bool
+}
+
+// ----------------------------------------------------------------- write
+
+TEST(JsonWriter, BuildsObjectInOrder) {
+  util::JsonWriter w;
+  w.field("s", "hi").field("i", std::int64_t{-3}).field("b", false);
+  EXPECT_EQ(w.str(), R"({"s":"hi","i":-3,"b":false})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  util::JsonWriter w;
+  w.field("s", "a\"b\\c\nd\x01");
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  util::JsonWriter w;
+  w.field("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(w.str(), R"({"inf":null})");
+}
+
+TEST(JsonWriter, RoundTripsThroughParser) {
+  util::JsonWriter w;
+  w.field("cost", -1234.5678).field("ok", true).raw_field("sub", "[1,2]");
+  const auto v = util::parse_json(w.str());
+  EXPECT_DOUBLE_EQ(v.find("cost")->as_double(), -1234.5678);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_EQ(v.find("sub")->array().size(), 2u);
+}
+
+// ------------------------------------------------------- result_to_jsonl
+
+TEST(ResultJsonl, SerializesAndParsesBack) {
+  core::SolveResult result;
+  result.found_feasible = true;
+  result.best_cost = -987.0;
+  result.feasible_count = 12;
+  result.total_runs = 100;
+  result.total_sweeps = 100000;
+
+  core::JsonlContext context;
+  context.id = "job-1";
+  context.instance = "300-50-8";
+  context.backend = "pbit";
+  context.wall_ms = 12.5;
+  context.cache_hit = true;
+  context.fingerprint = 0xdeadbeefULL;
+
+  const std::string line = core::result_to_jsonl(result, context);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, by contract
+
+  const auto v = util::parse_json(line);
+  EXPECT_EQ(v.find("id")->as_string(), "job-1");
+  EXPECT_EQ(v.find("instance")->as_string(), "300-50-8");
+  EXPECT_EQ(v.find("backend")->as_string(), "pbit");
+  EXPECT_EQ(v.find("status")->as_string(), "completed");
+  EXPECT_TRUE(v.find("found_feasible")->as_bool());
+  EXPECT_DOUBLE_EQ(v.find("best_cost")->as_double(), -987.0);
+  EXPECT_EQ(v.find("feasible_count")->as_int(), 12);
+  EXPECT_EQ(v.find("iterations")->as_int(), 100);
+  EXPECT_EQ(v.find("total_sweeps")->as_int(), 100000);
+  EXPECT_DOUBLE_EQ(v.find("wall_ms")->as_double(), 12.5);
+  EXPECT_TRUE(v.find("cache_hit")->as_bool());
+  EXPECT_EQ(v.find("fingerprint")->as_string(), "00000000deadbeef");
+}
+
+TEST(ResultJsonl, InfeasibleResultHasNullCostAndStatusString) {
+  core::SolveResult result;
+  result.status = core::Status::kDeadline;
+  const auto v = util::parse_json(core::result_to_jsonl(result, {}));
+  EXPECT_EQ(v.find("status")->as_string(), "deadline");
+  EXPECT_FALSE(v.find("found_feasible")->as_bool());
+  EXPECT_TRUE(v.find("best_cost")->is_null());
+}
+
+}  // namespace
+}  // namespace saim

@@ -107,6 +107,51 @@ TEST(ArgParser, UnknownFlagFails) {
   EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
 }
 
+TEST(ArgParser, UnknownFlagErrorNamesTheFlag) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--bogus"};
+  ASSERT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(p.error().find("--bogus"), std::string::npos) << p.error();
+}
+
+TEST(ArgParser, MissingValueErrorNamesTheFlag) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--n"};
+  ASSERT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(p.error().find("--n"), std::string::npos);
+}
+
+TEST(ArgParser, ErrorClearsOnSuccessfulParse) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv_bad = {"prog", "--bogus"};
+  ASSERT_FALSE(p.parse(static_cast<int>(argv_bad.size()), argv_bad.data()));
+  EXPECT_FALSE(p.error().empty());
+  const std::array<const char*, 1> argv_ok = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv_ok.data()));
+  EXPECT_TRUE(p.error().empty());
+}
+
+TEST(ArgParser, DuplicateFlagRegistrationThrows) {
+  ArgParser p("prog", "test program");
+  p.add_flag("n", "problem size", "100");
+  EXPECT_THROW(p.add_flag("n", "again", "7"), std::logic_error);
+  EXPECT_THROW(p.add_bool("n", "as bool"), std::logic_error);
+  // A bool name can't be reused by a value flag either.
+  p.add_bool("full", "paper scale");
+  EXPECT_THROW(p.add_flag("full", "oops", "1"), std::logic_error);
+}
+
+TEST(ArgParser, DuplicateRegistrationErrorNamesTheFlag) {
+  ArgParser p("prog", "test program");
+  p.add_flag("eta", "step", "20");
+  try {
+    p.add_flag("eta", "again", "1");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--eta"), std::string::npos);
+  }
+}
+
 TEST(ArgParser, MissingValueFails) {
   auto p = make_parser();
   const std::array<const char*, 2> argv = {"prog", "--n"};

@@ -1,0 +1,326 @@
+// saim_serve — JSONL front-end to the asynchronous solve service.
+//
+// Reads one job per line from a file or stdin, runs every job through one
+// SolveService (priority queue, worker pool, content-keyed result cache,
+// duplicate coalescing), and emits one JSON result line per job in input
+// order. The repo's first end-to-end "serve a stream of traffic" binary.
+//
+// Batch semantics: the whole input is read and submitted up front (so the
+// queue, priorities, and the coalescer see every in-flight job), then
+// results are printed after EOF. A coprocess must therefore close its
+// write end before reading results — an incremental `--stream` mode is a
+// ROADMAP follow-on.
+//
+// Job line schema (all fields except the instance source are optional):
+//   {"id": "j1",                     // echo-through label
+//    "type": "qkp" | "mkp",          // inferred from gen/format if absent
+//    "path": "jeu_100_25_1.txt",     // instance file ...
+//    "format": "billionnet" | "orlib" | "native",   // default by type
+//    "gen": "qkp:100-25-1",          // ... or a paper-style generated
+//                                    //     instance "N-density-k" /
+//                                    //     "mkp:N-M-k" instead of a file
+//    "backend": "pbit",              // see service::known_backends()
+//    "sweeps": 1000, "beta_max": 10.0,
+//    "iterations": 2000, "eta": 20.0, "penalty_alpha": 2.0,
+//    "seed": 1, "replicas": 1,
+//    "priority": "low" | "normal" | "high",
+//    "deadline_ms": 0,               // wall-clock budget, 0 = none
+//    "cache": true}
+//
+// Example:
+//   printf '%s\n' '{"id":"a","gen":"qkp:60-25-1","iterations":100}' \
+//     | saim_serve --workers 4
+//
+// Exit status: 0 when every line produced a result, 1 when any line was
+// rejected (malformed JSON, unknown backend, unreadable instance); bad
+// lines emit {"id":...,"error":...} and do not sink the rest of the
+// stream.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "problems/mkp.hpp"
+#include "problems/qkp.hpp"
+#include "service/request_builders.hpp"
+#include "service/solve_service.hpp"
+#include "util/cli.hpp"
+#include "util/jsonl.hpp"
+
+namespace {
+
+using namespace saim;
+
+struct PendingJob {
+  std::string id;
+  std::string instance;
+  std::string backend;
+  service::JobHandle handle;
+  std::string error;  ///< submission-time failure; handle invalid
+};
+
+/// "qkp:100-25-1" -> generated paper instance. Throws on a malformed spec.
+service::SolveRequest request_from_gen(const std::string& spec,
+                                       std::string* instance_name) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::size_t a = 0, b = 0, c = 0;
+  if (colon == std::string::npos ||
+      std::sscanf(spec.c_str() + colon + 1, "%zu-%zu-%zu", &a, &b, &c) != 3) {
+    throw std::runtime_error("bad gen spec '" + spec +
+                             "' (want qkp:N-density-k or mkp:N-M-k)");
+  }
+  service::SolveRequest request;
+  if (kind == "qkp") {
+    request = service::request_for(std::make_shared<problems::QkpInstance>(
+        problems::make_paper_qkp(a, static_cast<int>(b),
+                                 static_cast<int>(c))));
+  } else if (kind == "mkp") {
+    request = service::request_for(std::make_shared<problems::MkpInstance>(
+        problems::make_paper_mkp(a, b, static_cast<int>(c))));
+  } else {
+    throw std::runtime_error("bad gen spec '" + spec + "': unknown type '" +
+                             kind + "'");
+  }
+  *instance_name = request.tag;
+  return request;
+}
+
+/// Loads the instance named by path/format and lowers it to a request.
+service::SolveRequest request_from_file(const std::string& type,
+                                        const std::string& path,
+                                        const std::string& format,
+                                        std::string* instance_name) {
+  service::SolveRequest request;
+  if (type == "qkp") {
+    request = service::request_for(std::make_shared<problems::QkpInstance>(
+        format == "native" ? problems::load_qkp(path)
+                           : problems::load_qkp_billionnet(path)));
+  } else if (type == "mkp") {
+    request = service::request_for(std::make_shared<problems::MkpInstance>(
+        format == "native" ? problems::load_mkp(path)
+                           : problems::load_mkp_orlib(path)));
+  } else {
+    throw std::runtime_error("job needs \"type\": \"qkp\" or \"mkp\"");
+  }
+  *instance_name = request.tag;
+  return request;
+}
+
+service::Priority parse_priority(const std::string& p) {
+  if (p == "low") return service::Priority::kLow;
+  if (p == "high") return service::Priority::kHigh;
+  if (p.empty() || p == "normal") return service::Priority::kNormal;
+  throw std::runtime_error("bad priority '" + p +
+                           "' (want low, normal or high)");
+}
+
+/// Parses one JSONL job line into a ready-to-submit request.
+service::SolveRequest parse_job(const std::string& line,
+                                std::string* instance_name) {
+  const util::JsonValue job = util::parse_json(line);
+  if (!job.is_object()) throw std::runtime_error("job line is not an object");
+
+  // A misspelled key ("iteration", "sweep") would otherwise silently run
+  // the job with defaults; hand-written job files deserve a hard error.
+  static const std::set<std::string> kKnownKeys = {
+      "id",         "type",      "path",          "format",
+      "gen",        "backend",   "sweeps",        "beta_max",
+      "iterations", "eta",       "penalty_alpha", "seed",
+      "replicas",   "priority",  "deadline_ms",   "cache"};
+  for (const auto& [key, value] : job.object()) {
+    if (!kKnownKeys.contains(key)) {
+      throw std::runtime_error("unknown job field \"" + key + "\"");
+    }
+  }
+
+  auto str = [&](const char* key) {
+    const auto* v = job.find(key);
+    return v ? v->as_string() : std::string{};
+  };
+
+  std::string type = str("type");
+  service::SolveRequest request;
+  if (const auto* gen = job.find("gen")) {
+    request = request_from_gen(gen->as_string(), instance_name);
+  } else if (const auto* path = job.find("path")) {
+    std::string format = str("format");
+    if (type.empty()) {  // infer from format
+      if (format == "billionnet") type = "qkp";
+      if (format == "orlib") type = "mkp";
+    }
+    if (format.empty()) format = type == "mkp" ? "orlib" : "billionnet";
+    request = request_from_file(type, path->as_string(), format,
+                                instance_name);
+  } else {
+    throw std::runtime_error("job needs either \"gen\" or \"path\"");
+  }
+
+  auto num = [&](const char* key, double fallback) {
+    const auto* v = job.find(key);
+    if (v && !v->is_number()) {
+      throw std::runtime_error(std::string("field \"") + key +
+                               "\" must be a number");
+    }
+    return v ? v->as_double(fallback) : fallback;
+  };
+  // Counts must be nonnegative integers: a raw double->size_t cast of -1
+  // or 1e300 is UB and would silently produce a near-endless job.
+  auto count = [&](const char* key, std::uint64_t fallback) {
+    const auto* v = job.find(key);
+    if (!v) return fallback;
+    if (!v->is_number()) {
+      throw std::runtime_error(std::string("field \"") + key +
+                               "\" must be a number");
+    }
+    const double d = v->as_double();
+    if (!(d >= 0.0) || d > 9007199254740992.0 /* 2^53 */ ||
+        d != std::floor(d)) {
+      throw std::runtime_error(std::string("field \"") + key +
+                               "\" must be a nonnegative integer");
+    }
+    return static_cast<std::uint64_t>(d);
+  };
+  request.backend.name = str("backend").empty() ? "pbit" : str("backend");
+  request.backend.sweeps = static_cast<std::size_t>(count("sweeps", 1000));
+  request.backend.beta_max = num("beta_max", 10.0);
+
+  request.options.iterations =
+      static_cast<std::size_t>(count("iterations", 2000));
+  request.options.eta = num("eta", 20.0);
+  request.options.penalty_alpha = num("penalty_alpha", 2.0);
+  request.options.seed = count("seed", 1);
+  request.options.replicas = static_cast<std::size_t>(count("replicas", 1));
+
+  request.priority = parse_priority(str("priority"));
+  request.timeout = std::chrono::milliseconds(
+      static_cast<long>(count("deadline_ms", 0)));
+  if (const auto* cache = job.find("cache")) {
+    request.use_cache = cache->as_bool(true);
+  }
+  request.tag = str("id");
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("saim_serve",
+                       "serve a JSONL stream of SAIM solve jobs");
+  args.add_flag("input", "job stream path, - for stdin", "-")
+      .add_flag("output", "result stream path, - for stdout", "-")
+      .add_flag("workers", "solver worker threads (0 = hardware)", "0")
+      .add_flag("cache", "result-cache capacity (0 disables)", "256")
+      .add_bool("stats", "append a final summary line to stderr");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+
+  std::ifstream file_in;
+  const std::string input = args.get("input");
+  if (input != "-") {
+    file_in.open(input);
+    if (!file_in) {
+      std::fprintf(stderr, "saim_serve: cannot open '%s'\n", input.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = input == "-" ? std::cin : file_in;
+
+  std::ofstream file_out;
+  const std::string output = args.get("output");
+  if (output != "-") {
+    file_out.open(output);
+    if (!file_out) {
+      std::fprintf(stderr, "saim_serve: cannot open '%s'\n", output.c_str());
+      return 2;
+    }
+  }
+  std::ostream& out = output == "-" ? std::cout : file_out;
+
+  service::ServiceOptions service_options;
+  // Negative values would wrap to huge size_t counts; clamp to the
+  // "pick for me" / "disabled" zero instead.
+  service_options.workers =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("workers")));
+  service_options.cache_capacity =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("cache")));
+  service::SolveService svc(service_options);
+
+  // Submit the whole stream first — the queue, the priorities and the
+  // coalescer do their work across in-flight jobs — then emit results in
+  // input order.
+  std::vector<PendingJob> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    PendingJob pending;
+    pending.id = "job" + std::to_string(line_no);
+    try {
+      std::string instance_name;
+      service::SolveRequest request = parse_job(line, &instance_name);
+      if (!request.tag.empty()) pending.id = request.tag;
+      request.tag = pending.id;
+      pending.instance = instance_name;
+      pending.backend = request.backend.name;
+      pending.handle = svc.submit(std::move(request));
+    } catch (const std::exception& e) {
+      pending.error = e.what();
+      // Recover the id for the error line when the JSON itself was fine.
+      try {
+        if (const auto* id = util::parse_json(line).find("id")) {
+          if (!id->as_string().empty()) pending.id = id->as_string();
+        }
+      } catch (...) {
+      }
+    }
+    jobs.push_back(std::move(pending));
+  }
+
+  bool any_error = false;
+  for (auto& job : jobs) {
+    if (!job.handle.valid()) {
+      any_error = true;
+      util::JsonWriter err;
+      err.field("id", job.id).field("error", job.error);
+      out << err.str() << "\n";
+      continue;
+    }
+    const auto response = job.handle.wait();
+    core::JsonlContext context;
+    context.id = job.id;
+    context.instance = job.instance;
+    context.backend = job.backend;
+    context.wall_ms = response->wall_ms;
+    context.cache_hit = response->cache_hit;
+    context.fingerprint = response->fingerprint;
+    if (response->status == core::Status::kError) {
+      any_error = true;
+      util::JsonWriter err;
+      err.field("id", job.id).field("error", response->error);
+      out << err.str() << "\n";
+      continue;
+    }
+    out << core::result_to_jsonl(*response->result, context) << "\n";
+  }
+  out.flush();
+
+  if (args.get_bool("stats")) {
+    const auto s = svc.stats();
+    std::fprintf(stderr,
+                 "saim_serve: %llu submitted, %llu executed, %llu coalesced, "
+                 "cache hit-rate %.2f\n",
+                 static_cast<unsigned long long>(s.submitted),
+                 static_cast<unsigned long long>(s.executed),
+                 static_cast<unsigned long long>(s.coalesced),
+                 s.cache.hit_rate());
+  }
+  return any_error ? 1 : 0;
+}
