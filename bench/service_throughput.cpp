@@ -1,8 +1,9 @@
 // Service-layer throughput bench: jobs/sec of SolveService on a mixed
 // QKP/MKP job stream at 1/4/8 workers, plus the cache hit-rate when the
-// stream repeats itself. Writes BENCH_service.json.
+// stream repeats itself, plus the same-instance batching and warm-start
+// wins. Writes BENCH_service.json.
 //
-// Two phases:
+// Four phases:
 //   * scaling — a stream of unique jobs (distinct seeds, cache off) timed
 //     at each worker count. Jobs are independent single-threaded solves,
 //     so throughput should scale with workers up to the machine's cores;
@@ -10,8 +11,20 @@
 //   * cache — the same mixed stream submitted twice through a caching
 //     service: the second wave is pure cache hits, and the measured
 //     hit-rate and hit-serving throughput quantify what the cache buys.
+//   * batch — a duplicated-instance stream (one hot problem, distinct
+//     seeds) through one worker with batching off vs on: batching
+//     amortizes the model build + backend bind across members, so
+//     batched jobs/sec should be >= unbatched. One worker isolates the
+//     amortization from scheduling effects.
+//   * warm — a hot-instance workload: a cold wave populates the
+//     warm-start pool, then a warm wave (distinct seeds, warm_start on)
+//     must reach at least the cold wave's best objective — pooled best
+//     samples are imported, so warm_best <= cold_best (costs negative)
+//     holds by construction and the JSON records it.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,13 +64,40 @@ std::vector<service::SolveRequest> make_mixed_stream(std::size_t instances,
 service::SolveRequest make_request(const service::SolveRequest& base,
                                    std::size_t iterations,
                                    std::size_t sweeps, std::uint64_t seed,
-                                   bool use_cache) {
+                                   bool use_cache, bool warm_start = false) {
   service::SolveRequest request = base;
   request.backend.sweeps = sweeps;
   request.options.iterations = iterations;
   request.options.seed = seed;
   request.use_cache = use_cache;
+  request.warm_start = warm_start;
   return request;
+}
+
+/// Submits `jobs` same-instance requests (distinct seeds starting at
+/// `seed0`) and waits; returns wall seconds and min best_cost via out-param.
+double run_hot_wave(service::SolveService& svc,
+                    const service::SolveRequest& hot, std::size_t jobs,
+                    std::size_t iterations, std::size_t sweeps,
+                    std::uint64_t seed0, bool warm_start,
+                    double* best_cost = nullptr) {
+  std::vector<service::JobHandle> handles;
+  handles.reserve(jobs);
+  util::WallTimer timer;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    handles.push_back(svc.submit(make_request(hot, iterations, sweeps,
+                                              seed0 + j, /*use_cache=*/false,
+                                              warm_start)));
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (auto& h : handles) {
+    const auto response = h.wait();
+    if (response->result->found_feasible) {
+      best = std::min(best, response->result->best_cost);
+    }
+  }
+  if (best_cost) *best_cost = best;
+  return timer.seconds();
 }
 
 /// Submits `jobs` requests (seed = job index when unique_seeds) and waits
@@ -88,6 +128,12 @@ int main(int argc, char** argv) {
       .add_flag("n", "instance size (QKP items / MKP items)", "50")
       .add_flag("iterations", "SAIM outer iterations per job", "30")
       .add_flag("sweeps", "MCS per inner run", "200")
+      .add_flag("batch-n", "hot-instance size for the batch phase", "200")
+      .add_flag("batch-iterations",
+                "outer iterations per batch-phase job (the online-serving "
+                "shape: many cheap solves of one hot instance)",
+                "2")
+      .add_flag("batch-sweeps", "MCS per inner run in the batch phase", "30")
       .add_flag("out", "output JSON path", "BENCH_service.json");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
@@ -105,6 +151,9 @@ int main(int argc, char** argv) {
   const auto n = positive("n");
   const auto iterations = positive("iterations");
   const auto sweeps = positive("sweeps");
+  const auto batch_n = positive("batch-n");
+  const auto batch_iterations = positive("batch-iterations");
+  const auto batch_sweeps = positive("batch-sweeps");
 
   const auto templates = make_mixed_stream(instances, n);
   std::printf("service_throughput: %zu jobs over %zu instances (n=%zu, "
@@ -120,6 +169,7 @@ int main(int argc, char** argv) {
     service::ServiceOptions options;
     options.workers = worker_counts[w];
     options.cache_capacity = 0;  // measure compute, not replay
+    options.max_batch = 1;       // and worker scaling, not batching
     service::SolveService svc(options);
     const double seconds =
         run_wave(svc, templates, jobs, iterations, sweeps,
@@ -167,6 +217,96 @@ int main(int argc, char** argv) {
       .field("hits", stats.cache.hits)
       .field("misses", stats.cache.misses);
 
+  // ---------------------------------------------------------- batch phase
+  // One hot instance, distinct seeds, one worker: batching off vs on.
+  // Its own job shape (batch-n / batch-iterations / batch-sweeps): the
+  // amortized cost is the per-job model build + bind, so the win shows on
+  // online-serving traffic — many cheap solves of one big hot instance —
+  // and would drown under the long-iteration jobs of the scaling phase.
+  const service::SolveRequest hot_batch =
+      service::request_for(std::make_shared<problems::QkpInstance>(
+          problems::make_paper_qkp(batch_n, 25, 1)));
+  const std::size_t max_batch = 8;
+  double unbatched_seconds = 0.0;
+  double batched_seconds = 0.0;
+  std::uint64_t batched_jobs_stat = 0;
+  {
+    service::ServiceOptions options;
+    options.workers = 1;
+    options.cache_capacity = 0;
+    options.warm_pool_capacity = 0;
+    options.max_batch = 1;  // off
+    service::SolveService unbatched(options);
+    unbatched_seconds =
+        run_hot_wave(unbatched, hot_batch, jobs, batch_iterations,
+                     batch_sweeps, /*seed0=*/1, /*warm_start=*/false);
+  }
+  {
+    service::ServiceOptions options;
+    options.workers = 1;
+    options.cache_capacity = 0;
+    options.warm_pool_capacity = 0;
+    options.max_batch = max_batch;
+    service::SolveService batched(options);
+    batched_seconds =
+        run_hot_wave(batched, hot_batch, jobs, batch_iterations,
+                     batch_sweeps, /*seed0=*/1, /*warm_start=*/false);
+    batched_jobs_stat = batched.stats().batched_jobs;
+  }
+  const double unbatched_jps =
+      unbatched_seconds > 0 ? static_cast<double>(jobs) / unbatched_seconds
+                            : 0.0;
+  const double batched_jps =
+      batched_seconds > 0 ? static_cast<double>(jobs) / batched_seconds : 0.0;
+  std::printf("  hot instance x%zu (n=%zu, %zu iter x %zu MCS), 1 worker: "
+              "unbatched %6.2f jobs/sec, batched %6.2f jobs/sec "
+              "(%.2fx, %llu jobs in batches)\n",
+              jobs, batch_n, batch_iterations, batch_sweeps, unbatched_jps,
+              batched_jps,
+              unbatched_jps > 0 ? batched_jps / unbatched_jps : 0.0,
+              static_cast<unsigned long long>(batched_jobs_stat));
+
+  util::JsonWriter batch_json;
+  batch_json.field("max_batch", static_cast<std::uint64_t>(max_batch))
+      .field("n", static_cast<std::uint64_t>(batch_n))
+      .field("iterations", static_cast<std::uint64_t>(batch_iterations))
+      .field("sweeps", static_cast<std::uint64_t>(batch_sweeps))
+      .field("unbatched_jobs_per_sec", unbatched_jps)
+      .field("batched_jobs_per_sec", batched_jps)
+      .field("speedup",
+             unbatched_jps > 0 ? batched_jps / unbatched_jps : 0.0)
+      .field("batched_jobs", batched_jobs_stat);
+
+  // ----------------------------------------------------------- warm phase
+  // Cold wave fills the pool; warm wave must reach >= its best objective.
+  double cold_best = 0.0;
+  double warm_best = 0.0;
+  std::uint64_t warm_seeded = 0;
+  {
+    service::ServiceOptions options;
+    options.workers = 1;
+    options.cache_capacity = 0;  // isolate the pool from result replay
+    service::SolveService svc(options);
+    const auto& hot = templates.front();
+    run_hot_wave(svc, hot, jobs, iterations, sweeps, /*seed0=*/1,
+                 /*warm_start=*/false, &cold_best);
+    run_hot_wave(svc, hot, jobs, iterations, sweeps, /*seed0=*/1000,
+                 /*warm_start=*/true, &warm_best);
+    warm_seeded = svc.stats().warm_seeded;
+  }
+  const bool warm_reaches_cold = warm_best <= cold_best;
+  std::printf("  warm start: cold best %.0f, warm best %.0f (%s, %llu jobs "
+              "seeded)\n",
+              cold_best, warm_best,
+              warm_reaches_cold ? "warm >= cold objective" : "WARM FELL SHORT",
+              static_cast<unsigned long long>(warm_seeded));
+
+  util::JsonWriter warm_json;
+  warm_json.field("cold_best_cost", cold_best)
+      .field("warm_best_cost", warm_best)
+      .field("warm_reaches_cold", warm_reaches_cold)
+      .field("warm_seeded", warm_seeded);
+
   util::JsonWriter doc;
   doc.field("bench", "service_throughput")
       .field("jobs", static_cast<std::uint64_t>(jobs))
@@ -178,7 +318,9 @@ int main(int argc, char** argv) {
              static_cast<std::uint64_t>(util::hardware_threads()))
       .raw_field("workers", workers_json)
       .field("scaling_1_to_4", scaling_1_to_4)
-      .raw_field("cache", cache_json.str());
+      .raw_field("cache", cache_json.str())
+      .raw_field("batch", batch_json.str())
+      .raw_field("warm", warm_json.str());
 
   const std::string out_path = args.get("out");
   std::ofstream out(out_path);

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Docs-consistency gate for the serving protocol.
+#
+# docs/PROTOCOL.md promises to document every JSONL field the serving
+# layer speaks. This script extracts the ground truth from the sources —
+#   * response-side: every .field("...")/.raw_field("...") name in the
+#     JSONL emitters (core/report.cpp's result_to_jsonl and saim_serve's
+#     error lines), and
+#   * request-side: the kKnownKeys whitelist in tools/saim_serve.cpp —
+# and fails when any name is missing from the doc (backtick-quoted, so a
+# prose mention by accident does not count). Run from anywhere; CI runs it
+# on every build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc=docs/PROTOCOL.md
+if [[ ! -f "$doc" ]]; then
+  echo "FAIL: $doc does not exist"
+  exit 1
+fi
+
+emitted=$(grep -hoE '\.(raw_)?field\("[a-z_]+"' \
+            src/core/report.cpp tools/saim_serve.cpp |
+          grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+accepted=$(awk '/kKnownKeys = \{/,/\};/' tools/saim_serve.cpp |
+           grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+
+if [[ -z "$emitted" || -z "$accepted" ]]; then
+  echo "FAIL: could not extract field names (did the emitters move?)"
+  exit 1
+fi
+
+fail=0
+for f in $emitted $accepted; do
+  if ! grep -q "\`$f\`" "$doc"; then
+    echo "PROTOCOL drift: \"$f\" is spoken by the serving layer but not" \
+         "documented in $doc"
+    fail=1
+  fi
+done
+
+if [[ $fail -eq 0 ]]; then
+  count=$(printf '%s\n%s\n' "$emitted" "$accepted" | sort -u | wc -l)
+  echo "protocol docs OK: all $count field names documented in $doc"
+fi
+exit $fail

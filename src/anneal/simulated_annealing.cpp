@@ -65,11 +65,16 @@ MetropolisSaBackend::MetropolisSaBackend(pbit::Schedule schedule,
 
 void MetropolisSaBackend::bind(const ising::IsingModel& model) {
   sa_ = std::make_unique<MetropolisSa>(model);
+  model_n_ = model.n();
 }
 
 RunResult MetropolisSaBackend::run(util::Xoshiro256pp& rng) {
   if (!sa_) {
     throw std::logic_error("MetropolisSaBackend::run called before bind()");
+  }
+  const std::vector<ising::Spins> seeds = take_initial_states();
+  if (!seeds.empty() && seeds.front().size() == model_n_) {
+    return sa_->run_from(seeds.front(), schedule_, options_, rng);
   }
   return sa_->run(schedule_, options_, rng);
 }
@@ -80,8 +85,13 @@ std::vector<RunResult> MetropolisSaBackend::run_batch(
     throw std::logic_error(
         "MetropolisSaBackend::run_batch called before bind()");
   }
+  // Replica r warm-starts from seeds[r]; the rest cold-start.
+  const std::vector<ising::Spins> seeds = take_initial_states();
   return run_replicas_parallel(
-      [this](util::Xoshiro256pp& replica_rng) {
+      [this, &seeds](util::Xoshiro256pp& replica_rng, std::size_t r) {
+        if (r < seeds.size() && seeds[r].size() == model_n_) {
+          return sa_->run_from(seeds[r], schedule_, options_, replica_rng);
+        }
         return sa_->run(schedule_, options_, replica_rng);
       },
       rng, replicas, batch_threads(), stop_token());

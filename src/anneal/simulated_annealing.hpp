@@ -51,11 +51,16 @@ class MetropolisSaBackend final : public IsingSolverBackend {
     return options_.sweeps;
   }
   [[nodiscard]] std::string name() const override { return "metropolis-sa"; }
+  /// run_from gives Metropolis SA a native seeded path.
+  [[nodiscard]] bool supports_initial_states() const noexcept override {
+    return true;
+  }
 
  private:
   pbit::Schedule schedule_;
   SaOptions options_;
   std::unique_ptr<MetropolisSa> sa_;
+  std::size_t model_n_ = 0;  ///< spin count of the bound model (seed checks)
 };
 
 }  // namespace saim::anneal

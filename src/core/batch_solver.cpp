@@ -1,0 +1,100 @@
+#include "core/batch_solver.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "lagrange/lagrangian_model.hpp"
+
+namespace saim::core {
+
+namespace {
+/// Restores the backend's idle (never-stopping) token even when a member
+/// callback or the model build throws — a stale deadline-armed token left
+/// installed would spuriously truncate the caller's next runs.
+struct BackendStopGuard {
+  anneal::IsingSolverBackend* backend;
+  ~BackendStopGuard() { backend->set_stop_token(util::StopToken{}); }
+};
+}  // namespace
+
+std::vector<BatchOutcome> solve_batch(
+    const problems::ConstrainedProblem& problem,
+    anneal::IsingSolverBackend& backend, std::vector<BatchJob> jobs,
+    const BatchMemberDone& on_member_done) {
+  if (jobs.empty()) {
+    throw std::invalid_argument("solve_batch: no jobs");
+  }
+  const SaimOptions& shaping = jobs.front().options;
+  for (const BatchJob& job : jobs) {
+    if (job.options.penalty != shaping.penalty ||
+        job.options.penalty_alpha != shaping.penalty_alpha) {
+      throw std::invalid_argument(
+          "solve_batch: members disagree on penalty shaping");
+    }
+  }
+
+  lagrange::LagrangianModel model(
+      problem, shaping.penalty >= 0.0
+                   ? shaping.penalty
+                   : lagrange::heuristic_penalty(problem,
+                                                 shaping.penalty_alpha));
+  backend.bind(model.ising());
+  BackendStopGuard stop_guard{&backend};
+
+  std::vector<BatchOutcome> outcomes(jobs.size());
+  std::vector<std::unique_ptr<DualAscent>> ascents(jobs.size());
+  std::size_t active = 0;
+
+  const auto settle = [&](std::size_t j) {
+    ascents[j].reset();
+    --active;
+    if (on_member_done) on_member_done(j, outcomes[j]);
+  };
+  const auto fail = [&](std::size_t j, std::string what) {
+    outcomes[j].result = std::move(ascents[j]->result());
+    outcomes[j].result.status = Status::kError;
+    outcomes[j].error = std::move(what);
+    settle(j);
+  };
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    BatchJob& job = jobs[j];
+    if (job.options.iterations == 0) {
+      // Mirrors SaimSolver's constructor contract, demoted to a per-member
+      // failure so one bad request cannot sink its batch-mates.
+      outcomes[j].result.status = Status::kError;
+      outcomes[j].error = "SaimSolver: iterations must be positive";
+      if (on_member_done) on_member_done(j, outcomes[j]);
+      continue;
+    }
+    ascents[j] = std::make_unique<DualAscent>(
+        problem, job.options, std::move(job.evaluator), std::move(job.stop),
+        std::move(job.warm_starts));
+    ++active;
+  }
+
+  // Lockstep rounds: every live member advances one outer iteration per
+  // round, so short jobs drain early and a slow member never starves the
+  // others' progress. A member whose evaluator throws is finalized as
+  // kError on the spot; the shared model/backend carry no per-member state
+  // across runs, so the rest of the batch is untouched.
+  while (active > 0) {
+    for (std::size_t j = 0; j < ascents.size(); ++j) {
+      if (!ascents[j]) continue;
+      try {
+        if (ascents[j]->step(model, backend)) {
+          outcomes[j].result = std::move(ascents[j]->result());
+          settle(j);
+        }
+      } catch (const std::exception& e) {
+        fail(j, e.what());
+      } catch (...) {
+        fail(j, "unknown exception in solve job");
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace saim::core

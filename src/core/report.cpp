@@ -89,7 +89,10 @@ std::string result_to_jsonl(const SolveResult& result,
       .field("total_sweeps", static_cast<std::uint64_t>(result.total_sweeps))
       .field("wall_ms", context.wall_ms)
       .field("cache_hit", context.cache_hit)
-      .field("fingerprint", fingerprint_hex);
+      .field("fingerprint", fingerprint_hex)
+      .field("batch_size", static_cast<std::uint64_t>(context.batch_size))
+      .field("warm_started", context.warm_started);
+  if (context.seq >= 0) json.field("seq", context.seq);
   return json.str();
 }
 

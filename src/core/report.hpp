@@ -37,13 +37,21 @@ struct JsonlContext {
   double wall_ms = 0.0;
   bool cache_hit = false;
   std::uint64_t fingerprint = 0;
+  std::size_t batch_size = 1;  ///< same-instance batch the job ran in
+  bool warm_started = false;   ///< seeded from the warm-start pool
+  /// Emission sequence number; emitted only when >= 0 (saim_serve
+  /// --stream tags lines in completion order).
+  std::int64_t seq = -1;
 };
 
 /// One-line JSON summary of a solve — the line format saim_serve streams
 /// and bench/service_throughput aggregates: id, instance, backend, status,
 /// found_feasible, best_cost (null when no feasible sample), feasible
-/// count, iterations (outer runs), total MCS, wall time, cache_hit and the
-/// request fingerprint (hex). No trailing newline.
+/// count, iterations (outer runs), total MCS, wall time, cache_hit, the
+/// request fingerprint (hex), batch_size, warm_started, and (stream mode
+/// only) seq. The full schema lives in docs/PROTOCOL.md — keep the two in
+/// lockstep, CI greps the doc for every field emitted here. No trailing
+/// newline.
 std::string result_to_jsonl(const SolveResult& result,
                             const JsonlContext& context);
 

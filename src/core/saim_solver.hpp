@@ -77,6 +77,63 @@ struct SaimOptions {
   double convergence_tol = 1e-3;
 };
 
+/// One job's dual-ascent state, advanced one outer iteration at a time.
+///
+/// This is Algorithm 1 with the loop inverted: SaimSolver::solve drives a
+/// single DualAscent to completion, while core::BatchSaimSolver round-robins
+/// many DualAscents over ONE LagrangianModel + ONE bound backend (the
+/// same-instance batching the service layer uses to amortize model builds).
+/// Each step re-applies this job's multipliers via model.set_lambda — a pure
+/// rebuild from base coefficients — so interleaved jobs are bit-identical to
+/// running each alone: the landscape a run sees depends only on its own
+/// lambda trajectory, and each job owns its RNG stream.
+///
+/// Warm starts (both opt-in, service-fed): `warm_starts` holds full
+/// slack-extended configurations of known-feasible samples. On the first
+/// step they are (a) re-judged by this job's evaluator and, when feasible,
+/// imported as the best-so-far sample — imports seed best_cost/best_x only,
+/// never the measured-sample statistics (feasible_count, total_runs,
+/// feasible_cost_stats) — and (b) injected as backend initial states for the
+/// first inner run when the backend supports seeding. With no warm starts
+/// the trajectory is exactly the paper's cold-start loop.
+class DualAscent {
+ public:
+  DualAscent(const problems::ConstrainedProblem& problem, SaimOptions options,
+             SampleEvaluator evaluate, util::StopToken stop,
+             std::vector<ising::Bits> warm_starts = {});
+
+  /// Advances one outer iteration on (model, backend): set this job's
+  /// lambda, run the inner solver, judge samples, update lambda. The model
+  /// must be a LagrangianModel over the same problem contents and penalty
+  /// this job expects; the backend must be bound to model.ising(). Returns
+  /// true once the job is finished (completed, converged, stopped, or out
+  /// of iterations) — after which further calls are no-ops returning true.
+  bool step(lagrange::LagrangianModel& model,
+            anneal::IsingSolverBackend& backend);
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// The final (or partial, when stopped) result; valid once finished().
+  [[nodiscard]] SolveResult& result() noexcept { return result_; }
+
+ private:
+  void finalize(Status status);
+  [[nodiscard]] double step_size(std::size_t k) const noexcept;
+
+  const problems::ConstrainedProblem* problem_;
+  SaimOptions options_;
+  SampleEvaluator judge_;
+  util::StopToken stop_;
+  std::vector<ising::Bits> warm_starts_;
+
+  util::Xoshiro256pp rng_;
+  std::vector<double> lambda_;
+  SolveResult result_;
+  std::size_t k_ = 0;
+  std::size_t converged_streak_ = 0;
+  bool finished_ = false;
+};
+
 class SaimSolver {
  public:
   /// Problem and backend must outlive the solver. bind() is called here.

@@ -1,5 +1,7 @@
 #include "service/result_cache.hpp"
 
+#include <algorithm>
+
 namespace saim::service {
 
 std::shared_ptr<const core::SolveResult> ResultCache::get(std::uint64_t key) {
@@ -11,7 +13,32 @@ std::shared_ptr<const core::SolveResult> ResultCache::get(std::uint64_t key) {
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
-  return it->second->second;
+  return it->second->value;
+}
+
+void ResultCache::evict_one_locked() {
+  // Cost-weighted LRU: among the tail (least-recently-used) entries, drop
+  // the one that is cheapest to recompute (total_sweeps). The window is
+  // capped at both kEvictionWindow and HALF the list, so the
+  // most-recently-used half keeps plain-LRU protection — a hot cheap
+  // entry bumped by get() can never be sacrificed to keep cold expensive
+  // ones. Strictly-less comparison walking back-to-front keeps the older
+  // entry on ties, so with uniform costs this degenerates to plain LRU.
+  const std::size_t window =
+      std::min(kEvictionWindow, std::max<std::size_t>(1, lru_.size() / 2));
+  auto victim = std::prev(lru_.end());
+  std::size_t victim_cost = victim->value->total_sweeps;
+  auto it = victim;
+  for (std::size_t scanned = 1; scanned < window; ++scanned) {
+    --it;
+    if (it->value->total_sweeps < victim_cost) {
+      victim = it;
+      victim_cost = it->value->total_sweeps;
+    }
+  }
+  index_.erase(victim->key);
+  lru_.erase(victim);
+  ++stats_.evictions;
 }
 
 void ResultCache::put(std::uint64_t key,
@@ -20,18 +47,65 @@ void ResultCache::put(std::uint64_t key,
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(value);
+    it->second->value = std::move(value);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
-  lru_.emplace_front(key, std::move(value));
+  if (lru_.size() >= capacity_) evict_one_locked();
+  lru_.push_front(Entry{key, std::move(value)});
   index_[key] = lru_.begin();
   ++stats_.insertions;
+}
+
+void ResultCache::put_warm(std::uint64_t problem_fp,
+                           const ising::Bits& config, double cost) {
+  if (warm_capacity_ == 0 || config.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = warm_index_.find(problem_fp);
+  if (it == warm_index_.end()) {
+    if (warm_lru_.size() >= warm_capacity_) {
+      // Plain LRU for pools: a problem nobody solves anymore has no
+      // claim on pool space regardless of how good its samples were.
+      warm_index_.erase(warm_lru_.back().key);
+      warm_lru_.pop_back();
+    }
+    warm_lru_.push_front(WarmEntry{problem_fp, {}});
+    it = warm_index_.emplace(problem_fp, warm_lru_.begin()).first;
+  } else {
+    warm_lru_.splice(warm_lru_.begin(), warm_lru_, it->second);
+  }
+
+  auto& samples = it->second->samples;
+  for (const auto& [pooled_cost, pooled] : samples) {
+    if (pooled == config) return;  // already pooled
+  }
+  const auto pos = std::upper_bound(
+      samples.begin(), samples.end(), cost,
+      [](double c, const auto& s) { return c < s.first; });
+  if (pos == samples.end() && samples.size() >= kWarmSamplesPerProblem) {
+    return;  // worse than everything pooled
+  }
+  samples.emplace(pos, cost, config);
+  if (samples.size() > kWarmSamplesPerProblem) samples.pop_back();
+  ++stats_.warm_inserts;
+}
+
+std::vector<ising::Bits> ResultCache::warm_samples(std::uint64_t problem_fp) {
+  if (warm_capacity_ == 0) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = warm_index_.find(problem_fp);
+  if (it == warm_index_.end() || it->second->samples.empty()) {
+    ++stats_.warm_misses;
+    return {};
+  }
+  ++stats_.warm_hits;
+  warm_lru_.splice(warm_lru_.begin(), warm_lru_, it->second);
+  std::vector<ising::Bits> out;
+  out.reserve(it->second->samples.size());
+  for (const auto& [cost, config] : it->second->samples) {
+    out.push_back(config);
+  }
+  return out;
 }
 
 ResultCache::Stats ResultCache::stats() const {
@@ -44,10 +118,17 @@ std::size_t ResultCache::size() const {
   return lru_.size();
 }
 
+std::size_t ResultCache::warm_pool_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return warm_lru_.size();
+}
+
 void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  warm_lru_.clear();
+  warm_index_.clear();
 }
 
 }  // namespace saim::service

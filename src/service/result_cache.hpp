@@ -1,11 +1,26 @@
-// LRU cache of completed solve results, keyed by request fingerprint.
+// LRU cache of completed solve results, keyed by request fingerprint —
+// plus the per-problem warm-start pool.
 //
-// Values are shared_ptr<const SolveResult>: a hit hands back the *same*
-// object the original computation produced, so cached results are
-// bit-identical to the first solve by construction (and tests can assert
-// "no recompute" by pointer equality). Only kCompleted results belong here
-// — the service never caches partial (cancelled/deadline) solves.
-// Thread-safe; all operations are O(1).
+// Result cache: values are shared_ptr<const SolveResult>: a hit hands back
+// the *same* object the original computation produced, so cached results
+// are bit-identical to the first solve by construction (and tests can
+// assert "no recompute" by pointer equality). Only kCompleted results
+// belong here — the service never caches partial (cancelled/deadline)
+// solves. Eviction is cost-weighted LRU: when the cache is full, the tail
+// of the recency list — at most kEvictionWindow entries, never more than
+// half the list, so recency still protects the hot half — is scanned and
+// the entry with the smallest recompute cost (SolveResult::total_sweeps)
+// is dropped: a 2-ms solve makes room before a 2-second one, scans stay
+// O(1).
+//
+// Warm-start pool: keyed by *problem* fingerprint (not request — jobs over
+// one instance with different seeds/options share it), each entry keeps the
+// kWarmSamplesPerProblem best-cost feasible full configurations seen across
+// completed jobs. Opt-in jobs (SolveRequest::warm_start) seed their backend
+// initial states from here; every completed feasible job deposits back.
+// Pool entries are LRU-bounded independently of the result cache.
+//
+// Thread-safe; all operations are O(1) in the table size.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +29,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/result.hpp"
 
@@ -26,6 +42,9 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t warm_hits = 0;    ///< warm_samples() with a non-empty pool
+    std::uint64_t warm_misses = 0;  ///< warm_samples() with nothing pooled
+    std::uint64_t warm_inserts = 0; ///< samples accepted into a pool
 
     [[nodiscard]] double hit_rate() const noexcept {
       const std::uint64_t lookups = hits + misses;
@@ -35,28 +54,62 @@ class ResultCache {
     }
   };
 
-  /// capacity == 0 disables the cache (every lookup misses, puts drop).
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  /// Best-cost samples retained per problem fingerprint.
+  static constexpr std::size_t kWarmSamplesPerProblem = 4;
+  /// Tail entries considered per eviction (cost-weighted LRU).
+  static constexpr std::size_t kEvictionWindow = 8;
+
+  /// capacity == 0 disables the result cache (every lookup misses, puts
+  /// drop); warm_capacity == 0 likewise disables the warm-start pool.
+  explicit ResultCache(std::size_t capacity, std::size_t warm_capacity = 0)
+      : capacity_(capacity), warm_capacity_(warm_capacity) {}
 
   /// Returns the cached result and bumps it to most-recently-used, or
   /// nullptr on miss. Counts toward stats either way.
   std::shared_ptr<const core::SolveResult> get(std::uint64_t key);
 
-  /// Inserts/overwrites, evicting the least-recently-used entry when full.
+  /// Inserts/overwrites; when full, evicts the cheapest-to-recompute entry
+  /// among the kEvictionWindow least-recently-used ones.
   void put(std::uint64_t key, std::shared_ptr<const core::SolveResult> value);
+
+  /// Offers one feasible full configuration to `problem_fp`'s pool. Kept
+  /// only while it ranks among the kWarmSamplesPerProblem best costs;
+  /// duplicates of an already-pooled configuration are dropped.
+  void put_warm(std::uint64_t problem_fp, const ising::Bits& config,
+                double cost);
+
+  /// The pooled configurations for `problem_fp`, best cost first (empty
+  /// when nothing is pooled). Bumps the pool's recency.
+  [[nodiscard]] std::vector<ising::Bits> warm_samples(
+      std::uint64_t problem_fp);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t warm_pool_size() const;
   void clear();
 
  private:
-  using Entry = std::pair<std::uint64_t, std::shared_ptr<const core::SolveResult>>;
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const core::SolveResult> value;
+  };
+  struct WarmEntry {
+    std::uint64_t key = 0;
+    /// (cost, config), sorted ascending by cost (best first).
+    std::vector<std::pair<double, ising::Bits>> samples;
+  };
+
+  void evict_one_locked();
 
   std::size_t capacity_;
+  std::size_t warm_capacity_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::list<WarmEntry> warm_lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<WarmEntry>::iterator>
+      warm_index_;
   Stats stats_;
 };
 

@@ -6,7 +6,9 @@
 #include <iterator>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "core/batch_solver.hpp"
 #include "problems/fingerprint.hpp"
 #include "util/timer.hpp"
 
@@ -16,6 +18,12 @@ namespace detail {
 
 struct JobState {
   std::uint64_t fingerprint = 0;
+  /// Content hash of the problem alone — the warm-start pool's key.
+  std::uint64_t problem_fp = 0;
+  /// Batchability key: problem_fp + backend spec + penalty shaping. Jobs
+  /// sharing it can run on one model build + one backend bind; seeds,
+  /// iteration budgets, deadlines etc. stay per-member.
+  std::uint64_t batch_key = 0;
   SolveRequest request;
   util::StopSource stop;
 
@@ -128,7 +136,7 @@ std::uint64_t JobHandle::fingerprint() const noexcept {
 
 SolveService::SolveService(ServiceOptions options)
     : options_(options),
-      cache_(options.cache_capacity),
+      cache_(options.cache_capacity, options.warm_pool_capacity),
       pool_(options.workers == 0 ? util::hardware_threads()
                                  : options.workers) {
   for (std::size_t w = 0; w < pool_.thread_count(); ++w) {
@@ -167,6 +175,25 @@ std::uint64_t request_fingerprint_with(std::uint64_t problem_fp,
   fp.mix(static_cast<std::uint64_t>(o.collect_feasible_costs));
   fp.mix(static_cast<std::uint64_t>(o.convergence_patience));
   fp.mix(o.convergence_tol);
+  // Warm and cold twins are different computations: a warm job's output
+  // depends on the pool, so it must never collide with a cold twin in the
+  // cache or the in-flight table.
+  fp.mix(static_cast<std::uint64_t>(request.warm_start));
+  return fp.digest();
+}
+
+/// Batchability: everything that shapes the shared model/backend — and
+/// nothing that is legitimately per-member (seed, eta, iterations,
+/// replicas, deadline, warm_start).
+std::uint64_t batch_key_with(std::uint64_t problem_fp,
+                             const SolveRequest& request) {
+  problems::Fingerprint fp;
+  fp.mix(problem_fp);
+  fp.mix(request.backend.name);
+  fp.mix(static_cast<std::uint64_t>(request.backend.sweeps));
+  fp.mix(request.backend.beta_max);
+  fp.mix(request.options.penalty);
+  fp.mix(request.options.penalty_alpha);
   return fp.digest();
 }
 
@@ -218,11 +245,13 @@ JobHandle SolveService::submit(SolveRequest request) {
     throw std::invalid_argument("SolveService::submit: null problem");
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  const std::uint64_t fp =
-      request_fingerprint_with(problem_fingerprint(request.problem), request);
+  const std::uint64_t problem_fp = problem_fingerprint(request.problem);
+  const std::uint64_t fp = request_fingerprint_with(problem_fp, request);
 
   auto job = std::make_shared<JobState>();
   job->fingerprint = fp;
+  job->problem_fp = problem_fp;
+  job->batch_key = batch_key_with(problem_fp, request);
 
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -230,7 +259,11 @@ JobHandle SolveService::submit(SolveRequest request) {
       throw std::runtime_error("SolveService::submit after shutdown");
     }
 
-    if (request.use_cache) {
+    // Warm jobs bypass the replay machinery wholesale: their result is a
+    // function of the pool's state at execution time, so serving a stored
+    // twin (cache) or joining a running one (coalescing) would hand the
+    // caller a different pool snapshot than the one they asked to use.
+    if (request.use_cache && !request.warm_start) {
       // Completed twin: serve the very SolveResult object computed the
       // first time — bit-identical by construction, no recompute.
       if (auto cached = cache_.get(fp)) {
@@ -251,7 +284,9 @@ JobHandle SolveService::submit(SolveRequest request) {
     // a deadline (timeouts are not fingerprinted, so coalescing across
     // them would hand one caller the other's time budget) — otherwise
     // fall through and compute independently.
-    if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+    if (const auto it = request.warm_start ? inflight_.end()
+                                           : inflight_.find(fp);
+        it != inflight_.end()) {
       if (auto twin = it->second.lock();
           twin && twin->request.timeout.count() == 0 &&
           request.timeout.count() == 0) {
@@ -295,8 +330,11 @@ JobHandle SolveService::submit(SolveRequest request) {
     // Register for coalescing only if the slot is free: a job that
     // *declined* to join a live twin (deadline mismatch) must not evict
     // that twin's entry — later deadline-free duplicates should still
-    // find and join the original.
-    if (auto& slot = inflight_[fp]; slot.expired()) slot = job;
+    // find and join the original. Warm jobs never coalesce, so they do
+    // not register either.
+    if (!job->request.warm_start) {
+      if (auto& slot = inflight_[fp]; slot.expired()) slot = job;
+    }
   }
 
   if (!queue_.push(job, job->request.priority)) {
@@ -316,11 +354,87 @@ JobHandle SolveService::submit(SolveRequest request) {
 }
 
 void SolveService::worker_loop() {
-  while (auto job = queue_.pop()) {
+  while (true) {
+    idle_workers_.fetch_add(1, std::memory_order_relaxed);
+    auto popped = queue_.pop();
+    idle_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (!popped) break;
+    const std::shared_ptr<JobState> job = *popped;
     // A job can appear in the queue more than once (priority re-push on
     // coalesce); whoever flips `started` first owns it.
-    if ((*job)->started.exchange(true, std::memory_order_acq_rel)) continue;
-    execute(*job);
+    if (job->started.exchange(true, std::memory_order_acq_rel)) continue;
+
+    // Same-instance batching: pull this job's queued batch-key twins from
+    // its own priority band into one shared execution. Budget rules (see
+    // ServiceOptions::max_batch): a deadline-carrying job batches nothing
+    // extra, and idle workers are left enough queued jobs to stay busy —
+    // batching amortizes setup, but parallel solo execution beats
+    // lockstep sharing of one thread whenever threads are free. The idle
+    // read is racy-by-design: a stale value costs one suboptimal batch,
+    // never correctness.
+    std::size_t budget =
+        options_.max_batch > 1 && job->request.timeout.count() == 0
+            ? options_.max_batch - 1
+            : 0;
+    if (budget > 0) {
+      const std::size_t idle = idle_workers_.load(std::memory_order_relaxed);
+      const std::size_t backlog = queue_.size();
+      budget = std::min(budget, backlog > idle ? backlog - idle : 0);
+    }
+    std::vector<std::shared_ptr<JobState>> members{job};
+    if (budget > 0) {
+      auto twins = queue_.drain_matching(
+          budget, [&](const std::shared_ptr<JobState>& t) {
+            return t->batch_key == job->batch_key &&
+                   t->request.priority == job->request.priority &&
+                   !t->started.load(std::memory_order_acquire);
+          });
+      for (auto& twin : twins) {
+        // A drained entry can be a duplicate of an already-claimed job
+        // (priority re-push); the exchange makes claiming it idempotent.
+        if (twin->started.exchange(true, std::memory_order_acq_rel)) {
+          continue;
+        }
+        members.push_back(std::move(twin));
+      }
+    }
+    if (members.size() == 1 && !job->request.warm_start) {
+      execute(job);  // the proven solo path; nothing to amortize or seed
+    } else {
+      execute_batch(members);
+    }
+  }
+}
+
+void SolveService::record_outcome(
+    const std::shared_ptr<JobState>& job,
+    const std::shared_ptr<core::SolveResult>& result) {
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  switch (result->status) {
+    case core::Status::kCompleted:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::Status::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::Status::kDeadline:
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::Status::kError:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (result->status != core::Status::kCompleted) return;
+  // Only full solves are worth replaying; partial (stopped) results depend
+  // on wall-clock timing and must never be served to a future request.
+  // Warm results are excluded too: they depend on the pool snapshot.
+  if (job->request.use_cache && !job->request.warm_start) {
+    cache_.put(job->fingerprint, result);
+  }
+  // Every completed feasible job deposits its best configuration into the
+  // problem's warm-start pool (no opt-in needed to GIVE — only to TAKE).
+  if (result->found_feasible && !result->best_config.empty()) {
+    cache_.put_warm(job->problem_fp, result->best_config, result->best_cost);
   }
 }
 
@@ -354,29 +468,83 @@ void SolveService::execute(const std::shared_ptr<JobState>& job) {
   response->wall_ms = timer.milliseconds();
   response->status = result->status;
 
-  executed_.fetch_add(1, std::memory_order_relaxed);
-  switch (result->status) {
-    case core::Status::kCompleted:
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case core::Status::kCancelled:
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case core::Status::kDeadline:
-      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case core::Status::kError:
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      break;
-  }
-
-  // Only full solves are worth replaying; partial (stopped) results depend
-  // on wall-clock timing and must never be served to a future request.
-  if (result->status == core::Status::kCompleted && request.use_cache) {
-    cache_.put(job->fingerprint, result);
-  }
+  record_outcome(job, result);
   response->result = std::move(result);
   finish(job, std::move(response));
+}
+
+void SolveService::execute_batch(
+    const std::vector<std::shared_ptr<JobState>>& members) {
+  util::WallTimer timer;
+  if (members.size() > 1) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_jobs_.fetch_add(members.size(), std::memory_order_relaxed);
+  }
+
+  std::vector<bool> seeded(members.size(), false);
+
+  // Finishes one member the moment its DualAscent settles — waiters on a
+  // short or deadline-stopped member wake while its batch-mates run on.
+  std::vector<bool> finished(members.size(), false);
+  const auto finish_member = [&](std::size_t i, core::BatchOutcome& outcome) {
+    const auto& member = members[i];
+    auto response = std::make_shared<SolveResponse>();
+    response->fingerprint = member->fingerprint;
+    response->tag = member->request.tag;
+    response->batch_size = members.size();
+    response->warm_started = seeded[i];
+    response->wall_ms = timer.milliseconds();
+    response->error = std::move(outcome.error);
+    auto result =
+        std::make_shared<core::SolveResult>(std::move(outcome.result));
+    response->status = result->status;
+    record_outcome(member, result);
+    response->result = std::move(result);
+    finished[i] = true;
+    finish(member, std::move(response));
+  };
+
+  // Every member that had not yet settled when a batch-level failure
+  // lands (unknown backend, model build, a throwing evaluator copy) fails
+  // with the same diagnosis instead of leaving its waiters hanging.
+  const auto fail_rest = [&](const char* what) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (finished[i]) continue;
+      core::BatchOutcome outcome;
+      outcome.result.status = core::Status::kError;
+      outcome.error = what;
+      finish_member(i, outcome);
+    }
+  };
+
+  try {
+    // Inside the try: evaluator copies are user code and may throw, like
+    // everything else user-supplied on this path (mirrors execute()'s
+    // "letting it escape the worker thread would terminate the service").
+    std::vector<core::BatchJob> jobs;
+    jobs.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const SolveRequest& request = members[i]->request;
+      core::BatchJob batch_job;
+      batch_job.options = request.options;
+      batch_job.evaluator = request.evaluator;
+      batch_job.stop = members[i]->stop.token();
+      if (request.warm_start) {
+        batch_job.warm_starts = cache_.warm_samples(members[i]->problem_fp);
+        seeded[i] = !batch_job.warm_starts.empty();
+        if (seeded[i]) warm_seeded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      jobs.push_back(std::move(batch_job));
+    }
+    auto backend = make_backend(members.front()->request.backend);
+    backend->set_batch_threads(options_.backend_batch_threads);
+    core::solve_batch(*members.front()->request.problem, *backend,
+                      std::move(jobs), finish_member);
+  } catch (const std::exception& e) {
+    fail_rest(e.what());
+  } catch (...) {
+    fail_rest("unknown exception in solve batch");
+  }
 }
 
 void SolveService::finish(const std::shared_ptr<JobState>& job,
@@ -431,6 +599,9 @@ SolveService::Stats SolveService::stats() const {
   s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
+  s.warm_seeded = warm_seeded_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   return s;
 }

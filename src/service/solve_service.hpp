@@ -5,9 +5,15 @@
 // JobHandle future. The service owns
 //   * a persistent util::ThreadPool of solver workers,
 //   * a JobQueue with strict priority bands (FIFO within a band),
-//   * a content-keyed LRU ResultCache of completed results, and
+//   * a content-keyed LRU ResultCache of completed results (with the
+//     per-problem warm-start pool riding along),
 //   * an in-flight table that coalesces duplicate requests onto one
-//     computation.
+//     computation, and
+//   * a same-instance batch scheduler: a worker that pops a job drains its
+//     queued batch-key twins (same problem fingerprint, backend spec and
+//     penalty shaping, up to ServiceOptions::max_batch) and executes them
+//     as ONE model build + ONE backend bind via core::solve_batch,
+//     demultiplexing per-job results, statuses and deadlines.
 //
 // Requests share problem instances by shared_ptr (the shared-handle idiom:
 // many jobs over one instance, no copies), carry a priority, an optional
@@ -54,6 +60,22 @@ struct ServiceOptions {
   /// Defaults to 1: with several workers running whole jobs in parallel,
   /// per-job fan-out would only oversubscribe.
   std::size_t backend_batch_threads = 1;
+  /// Same-instance batching: a worker that pops a job also drains up to
+  /// max_batch - 1 queued jobs sharing its batch key (problem fingerprint
+  /// + backend spec + penalty shaping) and its priority band, and runs
+  /// them as ONE model build + ONE backend bind via core::solve_batch,
+  /// demultiplexing per-job results, statuses and deadlines. Draining is
+  /// idle-aware — it never starves an idle worker of queued work, since
+  /// parallel solo execution beats lockstep sharing of one thread — and a
+  /// deadline-carrying popped job batches nothing extra (lockstep mates
+  /// would dilute the compute rate its time budget was sized for; it can
+  /// still ride along in a deadline-free job's batch, where it loses no
+  /// queue wait). 0 or 1 disables batching.
+  std::size_t max_batch = 8;
+  /// Problem fingerprints the warm-start pool may track (each keeping the
+  /// ResultCache::kWarmSamplesPerProblem best feasible configurations).
+  /// 0 disables the pool — warm_start requests then run cold.
+  std::size_t warm_pool_capacity = 64;
 };
 
 struct SolveRequest {
@@ -69,6 +91,14 @@ struct SolveRequest {
   /// Wall-clock budget from submission; zero means none.
   std::chrono::milliseconds timeout{0};
   bool use_cache = true;
+  /// Opt-in cross-job warm start: seed this job's first inner run from the
+  /// per-problem pool of best-known feasible samples (and import the
+  /// pooled samples as its initial best-so-far). Off by default because a
+  /// warm job's result depends on what the pool held when it ran — it is
+  /// neither reproducible nor cacheable, so warm jobs bypass the result
+  /// cache and in-flight coalescing entirely. The flag IS fingerprinted,
+  /// keeping warm and cold twins distinct.
+  bool warm_start = false;
   /// Echo-through label (job id / instance name); not fingerprinted.
   std::string tag;
 };
@@ -79,6 +109,14 @@ struct SolveResponse {
   bool cache_hit = false;
   double wall_ms = 0.0;  ///< solve time; 0 for cache hits
   std::uint64_t fingerprint = 0;
+  /// Members of the same-instance batch this job executed in (1 = solo).
+  /// For batch members, wall_ms measures from batch start to THIS member's
+  /// completion — members share the worker, so per-member compute time is
+  /// not separable.
+  std::size_t batch_size = 1;
+  /// True when the job was seeded from the warm-start pool (requested
+  /// warm_start AND the pool had samples for its problem).
+  bool warm_started = false;
   std::string tag;
   std::string error;  ///< non-empty iff status == kError
 };
@@ -162,6 +200,9 @@ class SolveService {
     std::uint64_t deadline_expired = 0;
     std::uint64_t errors = 0;
     std::uint64_t coalesced = 0;  ///< submits joined onto an in-flight twin
+    std::uint64_t batches = 0;       ///< batch executions with >= 2 members
+    std::uint64_t batched_jobs = 0;  ///< jobs executed as members of those
+    std::uint64_t warm_seeded = 0;   ///< jobs seeded from the warm pool
     ResultCache::Stats cache;
   };
   [[nodiscard]] Stats stats() const;
@@ -174,8 +215,14 @@ class SolveService {
  private:
   void worker_loop();
   void execute(const std::shared_ptr<detail::JobState>& job);
+  /// Runs claimed same-batch-key jobs as one core::solve_batch (one model
+  /// build + one bind), finishing each member the moment it completes.
+  void execute_batch(
+      const std::vector<std::shared_ptr<detail::JobState>>& members);
   void finish(const std::shared_ptr<detail::JobState>& job,
               std::shared_ptr<const SolveResponse> response);
+  void record_outcome(const std::shared_ptr<detail::JobState>& job,
+                      const std::shared_ptr<core::SolveResult>& result);
 
   /// Memoized problems::fingerprint keyed by instance address: a stream of
   /// requests over one shared handle hashes the (possibly large) problem
@@ -205,6 +252,12 @@ class SolveService {
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_jobs_{0};
+  std::atomic<std::uint64_t> warm_seeded_{0};
+  /// Workers currently blocked in queue_.pop(); the batch drain leaves at
+  /// least this many queued jobs behind (see ServiceOptions::max_batch).
+  std::atomic<std::size_t> idle_workers_{0};
 
   std::once_flag shutdown_once_;
   util::ThreadPool pool_;  ///< last member: workers die before the queues

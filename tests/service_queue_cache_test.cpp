@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <initializer_list>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -61,6 +63,39 @@ TEST(JobQueue, PushAfterCloseIsRejected) {
   EXPECT_TRUE(q.closed());
 }
 
+TEST(JobQueue, DrainMatchingTakesOnlyMatchesUpToMax) {
+  JobQueue<int> q;
+  q.push(1, Priority::kLow);
+  q.push(2, Priority::kNormal);
+  q.push(4, Priority::kNormal);
+  q.push(6, Priority::kNormal);
+  q.push(3, Priority::kHigh);
+  q.push(8, Priority::kHigh);
+
+  // Even numbers only, capped at 3: high band first (8), then the normal
+  // band in FIFO order (2, 4); 6 stays because the cap was hit.
+  const auto drained =
+      q.drain_matching(3, [](const int& v) { return v % 2 == 0; });
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0], 8);
+  EXPECT_EQ(drained[1], 2);
+  EXPECT_EQ(drained[2], 4);
+
+  // Non-matching items keep their order; the capped-out 6 is still there.
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 6);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, DrainMatchingOnEmptyOrNoMatchReturnsNothing) {
+  JobQueue<int> q;
+  EXPECT_TRUE(q.drain_matching(4, [](const int&) { return true; }).empty());
+  q.push(1);
+  EXPECT_TRUE(q.drain_matching(4, [](const int&) { return false; }).empty());
+  EXPECT_EQ(q.size(), 1u);
+}
+
 TEST(JobQueue, DrainRemovesEverythingInPriorityOrder) {
   JobQueue<int> q;
   q.push(1, Priority::kLow);
@@ -95,10 +130,12 @@ TEST(JobQueue, ConcurrentProducersLoseNothing) {
 
 // ----------------------------------------------------------------- cache
 
-std::shared_ptr<const core::SolveResult> result_with_cost(double cost) {
+std::shared_ptr<const core::SolveResult> result_with_cost(
+    double cost, std::size_t total_sweeps = 0) {
   auto r = std::make_shared<core::SolveResult>();
   r->found_feasible = true;
   r->best_cost = cost;
+  r->total_sweeps = total_sweeps;
   return r;
 }
 
@@ -141,6 +178,108 @@ TEST(ResultCache, ZeroCapacityDisables) {
   cache.put(1, result_with_cost(-1));
   EXPECT_EQ(cache.get(1), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, EvictionIsWeightedByRecomputeCost) {
+  // An EXPENSIVE old entry and a CHEAP newer one in the tail half:
+  // inserting into a full cache must sacrifice the cheap entry even
+  // though the expensive one is least-recently used — plain LRU would
+  // throw away the 2-second solve to keep the 2-ms one.
+  ResultCache cache(4);
+  cache.put(1, result_with_cost(-1, /*total_sweeps=*/1000000));
+  cache.put(2, result_with_cost(-2, /*total_sweeps=*/10));
+  cache.put(3, result_with_cost(-3, /*total_sweeps=*/800));
+  cache.put(4, result_with_cost(-4, /*total_sweeps=*/900));
+  cache.put(5, result_with_cost(-5, /*total_sweeps=*/700));
+  EXPECT_EQ(cache.get(2), nullptr);  // cheap one evicted
+  EXPECT_NE(cache.get(1), nullptr);  // expensive LRU survivor
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_NE(cache.get(4), nullptr);
+  EXPECT_NE(cache.get(5), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, EvictionNeverReachesTheHotHalf) {
+  // The scan window is capped at half the list: a cheap entry that was
+  // just hit (most-recently used) keeps plain-LRU protection no matter
+  // how expensive the cold tail is.
+  ResultCache cache(2);  // window = 1: degenerates to plain LRU
+  cache.put(1, result_with_cost(-1, /*total_sweeps=*/1000000));
+  cache.put(2, result_with_cost(-2, /*total_sweeps=*/10));
+  ASSERT_NE(cache.get(2), nullptr);  // cheap entry is MRU
+  cache.put(3, result_with_cost(-3, /*total_sweeps=*/500));
+  EXPECT_NE(cache.get(2), nullptr);  // survived: recency protected it
+  EXPECT_EQ(cache.get(1), nullptr);  // the LRU went, expensive or not
+}
+
+TEST(ResultCache, EvictionWindowIsBounded) {
+  // Entries beyond the scan window keep strict LRU protection: with a
+  // window of kEvictionWindow, a cheap entry in front position is safe.
+  ResultCache cache(ResultCache::kEvictionWindow + 4);
+  cache.put(1, result_with_cost(-1, /*total_sweeps=*/1));  // cheapest...
+  for (std::uint64_t k = 2; k <= ResultCache::kEvictionWindow + 4; ++k) {
+    cache.put(k, result_with_cost(-double(k), /*total_sweeps=*/1000));
+  }
+  cache.get(1);  // ...but bumped to most-recent: outside the tail window
+  cache.put(99, result_with_cost(-99, /*total_sweeps=*/1000));
+  EXPECT_NE(cache.get(1), nullptr);  // survived despite being cheapest
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// ------------------------------------------------------- warm-start pool
+
+ising::Bits config_of(std::initializer_list<int> bits) {
+  ising::Bits b;
+  for (const int v : bits) b.push_back(static_cast<std::uint8_t>(v));
+  return b;
+}
+
+TEST(ResultCache, WarmPoolReturnsBestCostFirstAndDedupes) {
+  ResultCache cache(4, /*warm_capacity=*/4);
+  cache.put_warm(7, config_of({1, 0, 0}), -5.0);
+  cache.put_warm(7, config_of({0, 1, 0}), -9.0);
+  cache.put_warm(7, config_of({1, 0, 0}), -5.0);  // duplicate config
+  const auto samples = cache.warm_samples(7);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0], config_of({0, 1, 0}));  // best cost first
+  EXPECT_EQ(samples[1], config_of({1, 0, 0}));
+  EXPECT_EQ(cache.stats().warm_inserts, 2u);
+  EXPECT_EQ(cache.stats().warm_hits, 1u);
+}
+
+TEST(ResultCache, WarmPoolKeepsOnlyTheBestSamplesPerProblem) {
+  ResultCache cache(4, /*warm_capacity=*/4);
+  const auto cap = ResultCache::kWarmSamplesPerProblem;
+  for (std::size_t i = 0; i < cap + 3; ++i) {
+    cache.put_warm(7, config_of({int(i % 2), int(i / 2 % 2), int(i / 4)}),
+                   -double(i));
+  }
+  const auto samples = cache.warm_samples(7);
+  EXPECT_EQ(samples.size(), std::min<std::size_t>(cap, 7));
+  // A sample worse than everything pooled is rejected outright.
+  const auto before = cache.stats().warm_inserts;
+  cache.put_warm(7, config_of({1, 1, 1}), 1000.0);
+  EXPECT_EQ(cache.stats().warm_inserts, before);
+}
+
+TEST(ResultCache, WarmPoolEvictsLeastRecentlyUsedProblem) {
+  ResultCache cache(4, /*warm_capacity=*/2);
+  cache.put_warm(1, config_of({1}), -1.0);
+  cache.put_warm(2, config_of({1}), -1.0);
+  EXPECT_FALSE(cache.warm_samples(1).empty());  // bump problem 1
+  cache.put_warm(3, config_of({1}), -1.0);      // evicts problem 2
+  EXPECT_TRUE(cache.warm_samples(2).empty());
+  EXPECT_FALSE(cache.warm_samples(1).empty());
+  EXPECT_FALSE(cache.warm_samples(3).empty());
+  EXPECT_EQ(cache.warm_pool_size(), 2u);
+}
+
+TEST(ResultCache, WarmPoolDisabledWhenCapacityZero) {
+  ResultCache cache(4);  // warm_capacity defaults to 0
+  cache.put_warm(7, config_of({1, 0}), -1.0);
+  EXPECT_TRUE(cache.warm_samples(7).empty());
+  EXPECT_EQ(cache.warm_pool_size(), 0u);
+  EXPECT_EQ(cache.stats().warm_inserts, 0u);
 }
 
 TEST(ResultCache, ConcurrentMixedTrafficStaysConsistent) {

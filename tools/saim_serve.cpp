@@ -2,14 +2,20 @@
 //
 // Reads one job per line from a file or stdin, runs every job through one
 // SolveService (priority queue, worker pool, content-keyed result cache,
-// duplicate coalescing), and emits one JSON result line per job in input
-// order. The repo's first end-to-end "serve a stream of traffic" binary.
+// duplicate coalescing, same-instance batching, warm-start pool), and
+// emits one JSON result line per job. The full wire protocol — every
+// request and response field, error lines, exit codes, worked examples —
+// is specified in docs/PROTOCOL.md; keep that file in lockstep with this
+// one (CI greps it for every emitted field name).
 //
-// Batch semantics: the whole input is read and submitted up front (so the
-// queue, priorities, and the coalescer see every in-flight job), then
-// results are printed after EOF. A coprocess must therefore close its
-// write end before reading results — an incremental `--stream` mode is a
-// ROADMAP follow-on.
+// Two output modes:
+//   * default — the whole input is read and submitted up front (so the
+//     queue, priorities, the coalescer and the batcher see every in-flight
+//     job), then results print after EOF in input order. A coprocess must
+//     close its write end before reading results.
+//   * --stream — result lines are emitted as jobs finish, each tagged
+//     with a "seq" number in completion order; long-running tails no
+//     longer dam the output. Line order is NOT input order.
 //
 // Job line schema (all fields except the instance source are optional):
 //   {"id": "j1",                     // echo-through label
@@ -25,25 +31,30 @@
 //    "seed": 1, "replicas": 1,
 //    "priority": "low" | "normal" | "high",
 //    "deadline_ms": 0,               // wall-clock budget, 0 = none
-//    "cache": true}
+//    "cache": true,
+//    "warm_start": false}            // seed from the per-problem pool
+//                                    //   (default: the --warm-start flag)
 //
 // Example:
 //   printf '%s\n' '{"id":"a","gen":"qkp:60-25-1","iterations":100}' \
-//     | saim_serve --workers 4
+//     | saim_serve --workers 4 --stream
 //
 // Exit status: 0 when every line produced a result, 1 when any line was
 // rejected (malformed JSON, unknown backend, unreadable instance); bad
 // lines emit {"id":...,"error":...} and do not sink the rest of the
 // stream.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/report.hpp"
@@ -64,6 +75,7 @@ struct PendingJob {
   std::string backend;
   service::JobHandle handle;
   std::string error;  ///< submission-time failure; handle invalid
+  bool emitted = false;  ///< result line already printed (--stream)
 };
 
 /// "qkp:100-25-1" -> generated paper instance. Throws on a malformed spec.
@@ -123,7 +135,9 @@ service::Priority parse_priority(const std::string& p) {
 }
 
 /// Parses one JSONL job line into a ready-to-submit request.
-service::SolveRequest parse_job(const std::string& line,
+/// `warm_default` is the --warm-start flag; a per-job "warm_start" field
+/// overrides it either way.
+service::SolveRequest parse_job(const std::string& line, bool warm_default,
                                 std::string* instance_name) {
   const util::JsonValue job = util::parse_json(line);
   if (!job.is_object()) throw std::runtime_error("job line is not an object");
@@ -134,7 +148,8 @@ service::SolveRequest parse_job(const std::string& line,
       "id",         "type",      "path",          "format",
       "gen",        "backend",   "sweeps",        "beta_max",
       "iterations", "eta",       "penalty_alpha", "seed",
-      "replicas",   "priority",  "deadline_ms",   "cache"};
+      "replicas",   "priority",  "deadline_ms",   "cache",
+      "warm_start"};
   for (const auto& [key, value] : job.object()) {
     if (!kKnownKeys.contains(key)) {
       throw std::runtime_error("unknown job field \"" + key + "\"");
@@ -205,6 +220,10 @@ service::SolveRequest parse_job(const std::string& line,
   if (const auto* cache = job.find("cache")) {
     request.use_cache = cache->as_bool(true);
   }
+  request.warm_start = warm_default;
+  if (const auto* warm = job.find("warm_start")) {
+    request.warm_start = warm->as_bool(warm_default);
+  }
   request.tag = str("id");
   return request;
 }
@@ -218,6 +237,15 @@ int main(int argc, char** argv) {
       .add_flag("output", "result stream path, - for stdout", "-")
       .add_flag("workers", "solver worker threads (0 = hardware)", "0")
       .add_flag("cache", "result-cache capacity (0 disables)", "256")
+      .add_flag("max-batch",
+                "same-instance jobs executed per model build (1 disables)",
+                "8")
+      .add_bool("warm-start",
+                "seed jobs from the per-problem pool by default "
+                "(per-job \"warm_start\" field overrides)")
+      .add_bool("stream",
+                "emit result lines as jobs finish (tagged with \"seq\") "
+                "instead of in input order after EOF")
       .add_bool("stats", "append a final summary line to stderr");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
@@ -250,12 +278,90 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("workers")));
   service_options.cache_capacity =
       static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("cache")));
+  service_options.max_batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.get_int("max-batch")));
   service::SolveService svc(service_options);
 
-  // Submit the whole stream first — the queue, the priorities and the
-  // coalescer do their work across in-flight jobs — then emit results in
-  // input order.
+  const bool stream = args.get_bool("stream");
+  const bool warm_default = args.get_bool("warm-start");
+
+  bool any_error = false;
+  std::int64_t next_seq = 0;
+  // Renders (and marks emitted) the result/error line for a FINISHED job.
+  // In stream mode lines carry the emission sequence number; in batch
+  // mode they print after EOF in input order, without seq.
+  const auto render = [&](PendingJob& job) -> std::string {
+    job.emitted = true;
+    const std::int64_t seq = stream ? next_seq++ : -1;
+    if (!job.handle.valid()) {
+      any_error = true;
+      util::JsonWriter err;
+      err.field("id", job.id).field("error", job.error);
+      if (seq >= 0) err.field("seq", seq);
+      return err.str();
+    }
+    const auto response = job.handle.wait();  // finished: returns at once
+    if (response->status == core::Status::kError) {
+      any_error = true;
+      util::JsonWriter err;
+      err.field("id", job.id).field("error", response->error);
+      if (seq >= 0) err.field("seq", seq);
+      return err.str();
+    }
+    core::JsonlContext context;
+    context.id = job.id;
+    context.instance = job.instance;
+    context.backend = job.backend;
+    context.wall_ms = response->wall_ms;
+    context.cache_hit = response->cache_hit;
+    context.fingerprint = response->fingerprint;
+    context.batch_size = response->batch_size;
+    context.warm_started = response->warm_started;
+    context.seq = seq;
+    return core::result_to_jsonl(*response->result, context);
+  };
+
   std::vector<PendingJob> jobs;
+  std::vector<std::size_t> unemitted;  ///< indices into `jobs`, in order
+  std::mutex jobs_mutex;  ///< stream mode: guards jobs/unemitted/render
+  bool input_done = false;  ///< guarded by jobs_mutex
+
+  // Stream mode emits from a dedicated thread so completions surface the
+  // moment they happen — even while the main thread is blocked in getline
+  // waiting for a slow producer (a request-response coprocess can keep
+  // the pipe open and still read results). Each pass sweeps only the
+  // still-unemitted indices with non-blocking try_get, renders under the
+  // lock but WRITES outside it (a slow result consumer never stalls
+  // submission), and exits once input is done and everything is emitted.
+  // The exit check reads input_done inside the same critical section as
+  // the sweep, so a final job pushed before input_done was set can never
+  // be skipped.
+  std::thread emitter;
+  if (stream) {
+    emitter = std::thread([&] {
+      while (true) {
+        std::vector<std::string> lines;
+        bool done;
+        bool all_emitted;
+        {
+          std::lock_guard<std::mutex> lock(jobs_mutex);
+          std::erase_if(unemitted, [&](std::size_t i) {
+            PendingJob& job = jobs[i];
+            if (job.handle.valid() && !job.handle.try_get()) return false;
+            lines.push_back(render(job));
+            return true;
+          });
+          all_emitted = unemitted.empty();
+          done = input_done;
+        }
+        for (const auto& l : lines) out << l << "\n";
+        if (!lines.empty()) out.flush();
+        if (done && all_emitted) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -265,7 +371,8 @@ int main(int argc, char** argv) {
     pending.id = "job" + std::to_string(line_no);
     try {
       std::string instance_name;
-      service::SolveRequest request = parse_job(line, &instance_name);
+      service::SolveRequest request =
+          parse_job(line, warm_default, &instance_name);
       if (!request.tag.empty()) pending.id = request.tag;
       request.tag = pending.id;
       pending.instance = instance_name;
@@ -281,34 +388,23 @@ int main(int argc, char** argv) {
       } catch (...) {
       }
     }
-    jobs.push_back(std::move(pending));
+    {
+      // Uncontended in batch mode (the emitter thread only exists with
+      // --stream), so one always-locked push keeps the paths identical.
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      jobs.push_back(std::move(pending));
+      unemitted.push_back(jobs.size() - 1);
+    }
   }
 
-  bool any_error = false;
-  for (auto& job : jobs) {
-    if (!job.handle.valid()) {
-      any_error = true;
-      util::JsonWriter err;
-      err.field("id", job.id).field("error", job.error);
-      out << err.str() << "\n";
-      continue;
+  if (stream) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      input_done = true;
     }
-    const auto response = job.handle.wait();
-    core::JsonlContext context;
-    context.id = job.id;
-    context.instance = job.instance;
-    context.backend = job.backend;
-    context.wall_ms = response->wall_ms;
-    context.cache_hit = response->cache_hit;
-    context.fingerprint = response->fingerprint;
-    if (response->status == core::Status::kError) {
-      any_error = true;
-      util::JsonWriter err;
-      err.field("id", job.id).field("error", response->error);
-      out << err.str() << "\n";
-      continue;
-    }
-    out << core::result_to_jsonl(*response->result, context) << "\n";
+    emitter.join();  // drains every remaining completion, then exits
+  } else {
+    for (auto& job : jobs) out << render(job) << "\n";
   }
   out.flush();
 
@@ -316,10 +412,14 @@ int main(int argc, char** argv) {
     const auto s = svc.stats();
     std::fprintf(stderr,
                  "saim_serve: %llu submitted, %llu executed, %llu coalesced, "
+                 "%llu batched in %llu batches, %llu warm-seeded, "
                  "cache hit-rate %.2f\n",
                  static_cast<unsigned long long>(s.submitted),
                  static_cast<unsigned long long>(s.executed),
                  static_cast<unsigned long long>(s.coalesced),
+                 static_cast<unsigned long long>(s.batched_jobs),
+                 static_cast<unsigned long long>(s.batches),
+                 static_cast<unsigned long long>(s.warm_seeded),
                  s.cache.hit_rate());
   }
   return any_error ? 1 : 0;
