@@ -21,6 +21,13 @@
 //     must reach at least the cold wave's best objective — pooled best
 //     samples are imported, so warm_best <= cold_best (costs negative)
 //     holds by construction and the JSON records it.
+//   * sharded — the same mixed stream as JSONL lines through the
+//     multi-process front door (service/shard_router + saim_serve
+//     children, 1 worker each) at 1/2/4 shards: throughput should scale
+//     with shard count on multicore boxes. Skipped (and marked so in the
+//     JSON) when the saim_serve binary is not next to the bench.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -31,7 +38,10 @@
 
 #include "problems/mkp.hpp"
 #include "problems/qkp.hpp"
+#include "service/process_child.hpp"
 #include "service/request_builders.hpp"
+#include "service/shard_driver.hpp"
+#include "service/shard_router.hpp"
 #include "service/solve_service.hpp"
 #include "util/cli.hpp"
 #include "util/jsonl.hpp"
@@ -118,6 +128,65 @@ double run_wave(service::SolveService& svc,
   return timer.seconds();
 }
 
+/// The mixed stream as PROTOCOL.md job lines (distinct ids and seeds, no
+/// caching) for the sharded phase.
+std::vector<std::string> make_job_lines(std::size_t jobs,
+                                        std::size_t instances, std::size_t n,
+                                        std::size_t iterations,
+                                        std::size_t sweeps) {
+  std::vector<std::string> lines;
+  lines.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const std::size_t i = j % instances;
+    const std::string gen =
+        i % 2 == 0 ? "qkp:" + std::to_string(n) + "-25-" +
+                         std::to_string(i / 2 + 1)
+                   : "mkp:" + std::to_string(n) + "-5-" +
+                         std::to_string(i / 2 + 1);
+    util::JsonWriter line;
+    line.field("id", "j" + std::to_string(j))
+        .field("gen", gen)
+        .field("iterations", static_cast<std::uint64_t>(iterations))
+        .field("sweeps", static_cast<std::uint64_t>(sweeps))
+        .field("seed", static_cast<std::uint64_t>(j + 1))
+        .field("cache", false);
+    lines.push_back(line.str());
+  }
+  return lines;
+}
+
+/// Routes `lines` through `shards` saim_serve children (1 worker each);
+/// returns wall seconds, or a negative value when any job failed.
+double run_sharded_wave(const std::string& serve,
+                        const std::vector<std::string>& lines,
+                        std::size_t shards) {
+  std::vector<std::unique_ptr<service::ProcessChild>> children;
+  for (std::size_t s = 0; s < shards; ++s) {
+    children.push_back(std::make_unique<service::ProcessChild>(
+        std::vector<std::string>{serve, "--stream", "--workers", "1",
+                                 "--cache", "0"}));
+  }
+  service::RouterOptions options;
+  options.shards = shards;
+  service::ShardRouter router(options);
+
+  util::WallTimer timer;
+  std::size_t line_no = 0;
+  std::size_t emitted = 0;
+  for (const auto& line : lines) {
+    emitted += router.accept_line(line, ++line_no).size();
+  }
+  while (!router.idle()) {
+    emitted += service::pump_shards(router, children, 2).size();
+    if (router.live_shards() == 0) break;
+    if (timer.seconds() > 300.0) return -1.0;  // wedged child: fail loudly
+  }
+  const double seconds = timer.seconds();
+  for (auto& child : children) child->close_stdin();
+  if (router.any_error() || emitted != lines.size()) return -1.0;
+  return seconds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,6 +203,10 @@ int main(int argc, char** argv) {
                 "shape: many cheap solves of one hot instance)",
                 "2")
       .add_flag("batch-sweeps", "MCS per inner run in the batch phase", "30")
+      .add_flag("serve",
+                "saim_serve binary for the sharded phase (skipped when "
+                "missing)",
+                "./saim_serve")
       .add_flag("out", "output JSON path", "BENCH_service.json");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
@@ -307,6 +380,42 @@ int main(int argc, char** argv) {
       .field("warm_reaches_cold", warm_reaches_cold)
       .field("warm_seeded", warm_seeded);
 
+  // -------------------------------------------------------- sharded phase
+  // The same mixed stream through the multi-process front door at growing
+  // shard counts (1 solver worker per shard, cache off): jobs/sec should
+  // grow with shards up to the core count.
+  const std::string serve = args.get("serve");
+  util::JsonWriter sharded_json;
+  if (::access(serve.c_str(), X_OK) != 0) {
+    std::printf("  sharded: skipped ('%s' not executable)\n", serve.c_str());
+    sharded_json.field("skipped", true);
+  } else {
+    const auto lines = make_job_lines(jobs, instances, n, iterations, sweeps);
+    const std::size_t shard_counts[] = {1, 2, 4};
+    double shard_jps[3] = {0, 0, 0};
+    std::string rows = "[";
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double seconds = run_sharded_wave(serve, lines, shard_counts[i]);
+      shard_jps[i] =
+          seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
+      std::printf("  %zu shard%s: %6.2f jobs/sec (%.2fs)\n", shard_counts[i],
+                  shard_counts[i] == 1 ? " " : "s", shard_jps[i],
+                  seconds);
+      util::JsonWriter row;
+      row.field("shards", static_cast<std::uint64_t>(shard_counts[i]))
+          .field("jobs_per_sec", shard_jps[i])
+          .field("seconds", seconds);
+      rows += (i ? "," : "") + row.str();
+    }
+    rows += "]";
+    const double scaling =
+        shard_jps[0] > 0 ? shard_jps[1] / shard_jps[0] : 0.0;
+    std::printf("  shard scaling 1 -> 2: %.2fx\n", scaling);
+    sharded_json.field("skipped", false)
+        .raw_field("shards", rows)
+        .field("scaling_1_to_2", scaling);
+  }
+
   util::JsonWriter doc;
   doc.field("bench", "service_throughput")
       .field("jobs", static_cast<std::uint64_t>(jobs))
@@ -320,7 +429,8 @@ int main(int argc, char** argv) {
       .field("scaling_1_to_4", scaling_1_to_4)
       .raw_field("cache", cache_json.str())
       .raw_field("batch", batch_json.str())
-      .raw_field("warm", warm_json.str());
+      .raw_field("warm", warm_json.str())
+      .raw_field("sharded", sharded_json.str());
 
   const std::string out_path = args.get("out");
   std::ofstream out(out_path);

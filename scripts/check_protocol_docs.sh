@@ -4,9 +4,10 @@
 # docs/PROTOCOL.md promises to document every JSONL field the serving
 # layer speaks. This script extracts the ground truth from the sources —
 #   * response-side: every .field("...")/.raw_field("...") name in the
-#     JSONL emitters (core/report.cpp's result_to_jsonl and saim_serve's
-#     error lines), and
-#   * request-side: the kKnownKeys whitelist in tools/saim_serve.cpp —
+#     JSONL emitters (core/report.cpp's result_to_jsonl, saim_serve's
+#     error/control lines, and the shard router's rewritten/error lines),
+#   * request-side: the kKnownKeys job whitelist and the kControlKeys
+#     control-line whitelist in src/service/job_parser.cpp —
 # and fails when any name is missing from the doc (backtick-quoted, so a
 # prose mention by accident does not count). Run from anywhere; CI runs it
 # on every build.
@@ -20,18 +21,21 @@ if [[ ! -f "$doc" ]]; then
 fi
 
 emitted=$(grep -hoE '\.(raw_)?field\("[a-z_]+"' \
-            src/core/report.cpp tools/saim_serve.cpp |
+            src/core/report.cpp tools/saim_serve.cpp tools/saim_shard.cpp \
+            src/service/shard_router.cpp |
           grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
-accepted=$(awk '/kKnownKeys = \{/,/\};/' tools/saim_serve.cpp |
+accepted=$(awk '/kKnownKeys = \{/,/\};/' src/service/job_parser.cpp |
            grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+control=$(awk '/kControlKeys = \{/,/\};/' src/service/job_parser.cpp |
+          grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
 
-if [[ -z "$emitted" || -z "$accepted" ]]; then
+if [[ -z "$emitted" || -z "$accepted" || -z "$control" ]]; then
   echo "FAIL: could not extract field names (did the emitters move?)"
   exit 1
 fi
 
 fail=0
-for f in $emitted $accepted; do
+for f in $emitted $accepted $control; do
   if ! grep -q "\`$f\`" "$doc"; then
     echo "PROTOCOL drift: \"$f\" is spoken by the serving layer but not" \
          "documented in $doc"
@@ -40,7 +44,8 @@ for f in $emitted $accepted; do
 done
 
 if [[ $fail -eq 0 ]]; then
-  count=$(printf '%s\n%s\n' "$emitted" "$accepted" | sort -u | wc -l)
+  count=$(printf '%s\n%s\n%s\n' "$emitted" "$accepted" "$control" |
+          sort -u | wc -l)
   echo "protocol docs OK: all $count field names documented in $doc"
 fi
 exit $fail

@@ -1,0 +1,180 @@
+#include "service/process_child.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace saim::service {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Writes to a child that died between our poll and our write must report
+/// EPIPE, not deliver SIGPIPE to the whole router.
+void ignore_sigpipe_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+ProcessChild::ProcessChild(std::vector<std::string> argv) {
+  if (argv.empty()) throw std::runtime_error("ProcessChild: empty argv");
+  ignore_sigpipe_once();
+
+  int to_child[2];   // parent writes [1] -> child reads [0]
+  int from_child[2]; // child writes [1] -> parent reads [0]
+  if (::pipe(to_child) != 0) {
+    throw std::runtime_error("ProcessChild: pipe failed");
+  }
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw std::runtime_error("ProcessChild: pipe failed");
+  }
+
+  // Built BEFORE fork(): between fork and exec only async-signal-safe
+  // calls are allowed in a multithreaded parent — a heap allocation there
+  // could deadlock the child on another thread's malloc lock.
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (auto& arg : argv) c_argv.push_back(arg.data());
+  c_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      ::close(fd);
+    }
+    throw std::runtime_error("ProcessChild: fork failed");
+  }
+
+  if (pid == 0) {  // child
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      ::close(fd);
+    }
+    ::execvp(c_argv[0], c_argv.data());
+    // exec failed: the parent sees immediate EOF and exit status 127.
+    ::_exit(127);
+  }
+
+  pid_ = pid;
+  in_fd_ = to_child[1];
+  out_fd_ = from_child[0];
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  set_nonblocking(in_fd_);
+  set_nonblocking(out_fd_);
+  set_cloexec(in_fd_);
+  set_cloexec(out_fd_);
+}
+
+ProcessChild::~ProcessChild() {
+  close_stdin();
+  if (out_fd_ >= 0) {
+    ::close(out_fd_);
+    out_fd_ = -1;
+  }
+  if (!reaped_ && pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, &status_, 0);
+    reaped_ = true;
+  }
+}
+
+void ProcessChild::send_line(const std::string& line) {
+  if (write_broken_ || in_fd_ < 0) return;
+  outbuf_ += line;
+  outbuf_ += '\n';
+}
+
+bool ProcessChild::pump_writes() {
+  if (write_broken_) return false;
+  while (!outbuf_.empty() && in_fd_ >= 0) {
+    const ssize_t n = ::write(in_fd_, outbuf_.data(), outbuf_.size());
+    if (n > 0) {
+      outbuf_.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    write_broken_ = true;  // EPIPE or a real error: the child is gone
+    outbuf_.clear();
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> ProcessChild::read_lines() {
+  std::vector<std::string> lines;
+  if (out_fd_ >= 0 && !eof_) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(out_fd_, buf, sizeof buf);
+      if (n > 0) {
+        inbuf_.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        eof_ = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained for now
+    }
+  }
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = inbuf_.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.push_back(inbuf_.substr(start, nl - start));
+    start = nl + 1;
+  }
+  inbuf_.erase(0, start);
+  return lines;
+}
+
+void ProcessChild::close_stdin() {
+  if (in_fd_ >= 0) {
+    ::close(in_fd_);
+    in_fd_ = -1;
+  }
+}
+
+void ProcessChild::kill(int signal) {
+  if (!reaped_ && pid_ > 0) ::kill(pid_, signal);
+}
+
+bool ProcessChild::running() {
+  if (reaped_) return false;
+  if (pid_ <= 0) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    status_ = status;
+    reaped_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace saim::service

@@ -1,0 +1,87 @@
+// ProcessChild — a supervised line-oriented coprocess over pipes.
+//
+// The sharding front door (tools/saim_shard, service/shard_router) runs
+// each shard as a `saim_serve --stream` child process and speaks the
+// JSONL protocol to it through this wrapper: fork/exec with stdin/stdout
+// piped back to the parent, both parent ends non-blocking so one thread
+// can multiplex many children without ever deadlocking on a full pipe
+// (outbound lines buffer in user space until the child drains them;
+// inbound bytes accumulate until a full line is available).
+//
+// Lifecycle: the child is alive until running() observes its exit via
+// waitpid(WNOHANG). A clean shutdown is close_stdin() — saim_serve
+// answers EOF by emitting every remaining result and exiting — followed
+// by reading until eof(). The destructor is the crash path: it SIGKILLs
+// and reaps whatever is still alive, so a throwing caller never leaks a
+// process. SIGPIPE is ignored process-wide on first use (writes to a dead
+// child report EPIPE instead of killing the router).
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace saim::service {
+
+class ProcessChild {
+ public:
+  /// Spawns argv[0] with arguments argv[1..] (execvp, so bare names
+  /// resolve through PATH; stderr is inherited). Throws std::runtime_error
+  /// when pipe/fork fail. An unexecutable path surfaces as the child
+  /// exiting 127 with immediate EOF, not as a constructor failure.
+  explicit ProcessChild(std::vector<std::string> argv);
+  ~ProcessChild();
+
+  ProcessChild(const ProcessChild&) = delete;
+  ProcessChild& operator=(const ProcessChild&) = delete;
+
+  /// Queues `line` (plus the trailing newline) for the child's stdin.
+  void send_line(const std::string& line);
+
+  /// Flushes as much queued output as the pipe accepts right now.
+  /// Returns false once the pipe is broken (child gone); queued bytes
+  /// are then discarded.
+  bool pump_writes();
+
+  /// Non-blocking read: drains whatever the child has written and returns
+  /// the complete lines (without newlines). Sets eof() when the child
+  /// closed its end; a trailing half-line at EOF is dropped.
+  std::vector<std::string> read_lines();
+
+  /// Closes the child's stdin — the graceful drain signal.
+  void close_stdin();
+
+  /// Sends `signal` (e.g. SIGKILL) if the child has not been reaped yet.
+  void kill(int signal);
+
+  /// Polls waitpid(WNOHANG); false once the child exited and was reaped.
+  [[nodiscard]] bool running();
+
+  /// True once the child closed its stdout (all output received).
+  [[nodiscard]] bool eof() const noexcept { return eof_; }
+
+  /// Raw waitpid status; meaningful once running() returned false.
+  [[nodiscard]] int exit_status() const noexcept { return status_; }
+
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+  /// The fd to poll() for readability.
+  [[nodiscard]] int read_fd() const noexcept { return out_fd_; }
+  /// Bytes queued but not yet accepted by the pipe.
+  [[nodiscard]] std::size_t outbound_bytes() const noexcept {
+    return outbuf_.size();
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int in_fd_ = -1;   ///< parent write end -> child stdin
+  int out_fd_ = -1;  ///< parent read end  <- child stdout
+  std::string outbuf_;
+  std::string inbuf_;
+  bool write_broken_ = false;
+  bool eof_ = false;
+  bool reaped_ = false;
+  int status_ = 0;
+};
+
+}  // namespace saim::service

@@ -303,6 +303,58 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+namespace {
+
+void append_json(std::string& out, const JsonValue& v) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    const double d = v.as_double();
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no inf/nan
+    }
+  } else if (v.is_string()) {
+    out += '"';
+    out += json_escape(v.as_string());
+    out += '"';
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const auto& element : v.array()) {
+      if (!first) out += ',';
+      first = false;
+      append_json(out, element);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : v.object()) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += json_escape(key);
+      out += "\":";
+      append_json(out, value);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string to_json(const JsonValue& value) {
+  std::string out;
+  append_json(out, value);
+  return out;
+}
+
 void JsonWriter::key(std::string_view name) {
   if (body_.size() > 1) body_ += ",";
   body_ += "\"";

@@ -25,6 +25,9 @@ class JsonValue {
   JsonValue(bool b) : value_(b) {}
   JsonValue(double d) : value_(d) {}
   JsonValue(std::string s) : value_(std::move(s)) {}
+  // Without this, JsonValue("x") would silently pick the bool overload
+  // (pointer decay beats user-defined conversion to std::string).
+  JsonValue(const char* s) : value_(std::string(s)) {}
   JsonValue(Object o) : value_(std::move(o)) {}
   JsonValue(Array a) : value_(std::move(a)) {}
 
@@ -72,6 +75,15 @@ JsonValue parse_json(std::string_view text);
 /// Escapes `s` for embedding inside a JSON string literal (quotes not
 /// included).
 std::string json_escape(std::string_view s);
+
+/// Serializes a JsonValue back to compact JSON. Together with parse_json
+/// this round-trips every value the parser can produce: strings re-escape
+/// (control chars as \u00XX, UTF-8 — including parsed surrogate pairs —
+/// passes through as raw bytes), numbers print with 17 significant digits
+/// so the double survives bit-exactly, object keys come out in the
+/// parser's (sorted) order. Used by the shard router to rewrite request
+/// lines without perturbing any other field.
+std::string to_json(const JsonValue& value);
 
 /// Builds one JSON object, field by field, in insertion order.
 class JsonWriter {

@@ -105,6 +105,109 @@ TEST(JsonWriter, RoundTripsThroughParser) {
   EXPECT_EQ(v.find("sub")->array().size(), 2u);
 }
 
+// ------------------------------------------------------------ round trip
+//
+// ISSUE 4 satellite: json_escape emits \u00XX for control chars and the
+// parser decodes \uXXXX (including surrogate pairs); pin the full
+// encode/decode loop over the hostile corners so the two sides can never
+// drift apart.
+
+TEST(JsonRoundTrip, EveryControlCharSurvivesEscapeAndParse) {
+  for (int c = 0; c < 0x20; ++c) {
+    std::string raw(1, static_cast<char>(c));
+    raw += "x";  // make sure escaping composes with plain text
+    const std::string doc = "\"" + util::json_escape(raw) + "\"";
+    EXPECT_EQ(util::parse_json(doc).as_string(), raw) << "control char " << c;
+  }
+}
+
+TEST(JsonRoundTrip, Utf8AndSurrogatePairsSurviveToJson) {
+  // Escaped surrogate pair (U+1F600), 3-byte UTF-8 (é via raw bytes), and
+  // a 2-byte char: parse -> serialize -> parse is the identity, and the
+  // serialized form carries the UTF-8 bytes through untouched.
+  const auto v = util::parse_json(R"(["😀", "Aé", "é"])");
+  EXPECT_EQ(v.array()[0].as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(v.array()[2].as_string(), "\xc3\xa9");
+  const std::string serialized = util::to_json(v);
+  EXPECT_NE(serialized.find("\xf0\x9f\x98\x80"), std::string::npos);
+  const auto again = util::parse_json(serialized);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(again.array()[i].as_string(), v.array()[i].as_string());
+  }
+}
+
+TEST(JsonRoundTrip, MaxCodepointAndBoundarySurrogates) {
+  // U+10FFFF = 􏿿 (4-byte UTF-8), U+10000 = 𐀀.
+  const auto v = util::parse_json(R"(["􏿿", "𐀀"])");
+  EXPECT_EQ(v.array()[0].as_string(), "\xf4\x8f\xbf\xbf");
+  EXPECT_EQ(v.array()[1].as_string(), "\xf0\x90\x80\x80");
+  EXPECT_EQ(util::parse_json(util::to_json(v)).array()[0].as_string(),
+            v.array()[0].as_string());
+}
+
+TEST(JsonRoundTrip, InvalidEscapesAllThrow) {
+  // Bad \u escapes, lone/mismatched surrogates, truncated escapes: every
+  // one must throw, never mis-decode.
+  for (const char* doc : {
+           R"("\uZZZZ")",        // non-hex digits
+           R"("\u12")",          // truncated hex
+           R"("\ud800")",        // lone high surrogate at end of string
+           R"("\ud800x")",       // high surrogate not followed by \u
+           R"("\ud800A")",  // high surrogate + non-surrogate
+           R"("\ud800\ud800")",  // high surrogate + high surrogate
+           R"("\udc00")",        // lone low surrogate
+           R"("\x41")",          // unknown escape letter
+           "\"\\",               // escape at end of input
+       }) {
+    EXPECT_THROW(util::parse_json(doc), std::runtime_error) << doc;
+  }
+}
+
+TEST(JsonRoundTrip, FuzzishStringsThroughEscapeParseLoop) {
+  // Deterministic pseudo-random byte strings (all byte values, embedded
+  // NULs, quote/backslash runs): escape -> parse must reproduce the
+  // input bytes exactly.
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  for (int round = 0; round < 200; ++round) {
+    std::string raw;
+    const std::size_t len = 1 + (state >> 58);
+    for (std::size_t i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      unsigned char byte = static_cast<unsigned char>(state >> 33);
+      if (byte >= 0x80) byte &= 0x7f;  // keep it valid single-byte UTF-8
+      raw.push_back(static_cast<char>(byte));
+    }
+    const std::string doc = "\"" + util::json_escape(raw) + "\"";
+    EXPECT_EQ(util::parse_json(doc).as_string(), raw);
+  }
+}
+
+TEST(JsonRoundTrip, ToJsonReproducesDocuments) {
+  // Nested document with the number corners that must survive re-reading
+  // (17 significant digits, negative zero collapse is NOT applied here —
+  // the writer emits what the double holds).
+  const std::string doc =
+      R"({"a":[1,2.5,-3e-05,null,true,false],"b":{"c":"x\ny","d":[]},)"
+      R"("n":9007199254740992})";
+  const auto v = util::parse_json(doc);
+  const std::string serialized = util::to_json(v);
+  const auto again = util::parse_json(serialized);
+  EXPECT_DOUBLE_EQ(again.find("a")->array()[2].as_double(), -3e-05);
+  EXPECT_EQ(again.find("b")->find("c")->as_string(), "x\ny");
+  EXPECT_EQ(again.find("b")->find("d")->array().size(), 0u);
+  EXPECT_EQ(again.find("n")->as_uint(), 9007199254740992ULL);
+  // Serialization is a fixed point: to_json(parse(to_json(x))) == to_json(x).
+  EXPECT_EQ(util::to_json(again), serialized);
+}
+
+TEST(JsonRoundTrip, ToJsonEscapesKeysAndHandlesNonFinite) {
+  util::JsonValue::Object obj;
+  obj["k\n"] = util::JsonValue("v");
+  obj["inf"] = util::JsonValue(std::numeric_limits<double>::infinity());
+  const std::string serialized = util::to_json(util::JsonValue(obj));
+  EXPECT_EQ(serialized, "{\"inf\":null,\"k\\n\":\"v\"}");
+}
+
 // ------------------------------------------------------- result_to_jsonl
 
 TEST(ResultJsonl, SerializesAndParsesBack) {

@@ -226,6 +226,66 @@ TEST(ResultCache, EvictionWindowIsBounded) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+// ISSUE 4 satellite: eviction edge cases around tiny caches — the scan
+// window must clamp to the actual list size (no empty-window scan, no
+// size/2 underflow when the list holds one entry) and capacity 0 must be
+// inert for every operation.
+
+TEST(ResultCache, CapacityOneEvictsOnEveryInsertWithoutUnderflow) {
+  ResultCache cache(1);  // size/2 == 0: window must clamp to 1
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    cache.put(k, result_with_cost(-double(k), /*total_sweeps=*/k));
+    ASSERT_EQ(cache.size(), 1u);
+    ASSERT_NE(cache.get(k), nullptr);  // the newest entry always survives
+  }
+  EXPECT_EQ(cache.stats().evictions, 49u);
+  EXPECT_EQ(cache.get(1), nullptr);
+}
+
+TEST(ResultCache, EvictionWithFewerEntriesThanTheTailWindow) {
+  // capacity < kEvictionWindow: the scan window is half the LIST, never
+  // the full kEvictionWindow — churning through many keys must stay
+  // in-bounds and keep exactly `capacity` entries.
+  static_assert(3 < ResultCache::kEvictionWindow);
+  ResultCache cache(3);
+  for (std::uint64_t k = 1; k <= 30; ++k) {
+    cache.put(k, result_with_cost(-double(k), /*total_sweeps=*/1000 - k));
+    ASSERT_LE(cache.size(), 3u);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 27u);
+  EXPECT_NE(cache.get(30), nullptr);  // most recent insert always present
+}
+
+TEST(ResultCache, ZeroCapacityStillCountsLookupsAndNeverEvicts) {
+  ResultCache cache(0);
+  cache.put(1, result_with_cost(-1));
+  cache.put(1, result_with_cost(-1));
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);  // lookups still measured
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+TEST(ResultCache, OverwriteAtFullCapacityDoesNotEvict) {
+  ResultCache cache(2);
+  cache.put(1, result_with_cost(-1));
+  cache.put(2, result_with_cost(-2));
+  cache.put(1, result_with_cost(-9));  // overwrite, cache already full
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_DOUBLE_EQ(cache.get(1)->best_cost, -9);
+  EXPECT_DOUBLE_EQ(cache.get(2)->best_cost, -2);
+}
+
+TEST(ResultCache, NullValueIsNeverInserted) {
+  ResultCache cache(2);
+  cache.put(1, nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
 // ------------------------------------------------------- warm-start pool
 
 ising::Bits config_of(std::initializer_list<int> bits) {
@@ -280,6 +340,21 @@ TEST(ResultCache, WarmPoolDisabledWhenCapacityZero) {
   EXPECT_TRUE(cache.warm_samples(7).empty());
   EXPECT_EQ(cache.warm_pool_size(), 0u);
   EXPECT_EQ(cache.stats().warm_inserts, 0u);
+  // A disabled pool measures nothing: reads are not "misses", they are
+  // non-events (the service would otherwise skew warm hit-rates).
+  EXPECT_EQ(cache.stats().warm_misses, 0u);
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+}
+
+TEST(ResultCache, WarmPoolCapacityOneAndEmptyConfigEdgeCases) {
+  ResultCache cache(4, /*warm_capacity=*/1);
+  cache.put_warm(1, ising::Bits{}, -1.0);  // empty config: dropped
+  EXPECT_EQ(cache.warm_pool_size(), 0u);
+  cache.put_warm(1, config_of({1}), -1.0);
+  cache.put_warm(2, config_of({0}), -2.0);  // evicts problem 1's pool
+  EXPECT_EQ(cache.warm_pool_size(), 1u);
+  EXPECT_TRUE(cache.warm_samples(1).empty());
+  ASSERT_EQ(cache.warm_samples(2).size(), 1u);
 }
 
 TEST(ResultCache, ConcurrentMixedTrafficStaysConsistent) {

@@ -4,9 +4,11 @@
 // SolveService (priority queue, worker pool, content-keyed result cache,
 // duplicate coalescing, same-instance batching, warm-start pool), and
 // emits one JSON result line per job. The full wire protocol — every
-// request and response field, error lines, exit codes, worked examples —
-// is specified in docs/PROTOCOL.md; keep that file in lockstep with this
-// one (CI greps it for every emitted field name).
+// request and response field, control lines, error lines, exit codes,
+// worked examples — is specified in docs/PROTOCOL.md; keep that file in
+// lockstep with this one (CI greps it for every emitted field name). The
+// job-line parser itself lives in service/job_parser.{hpp,cpp}, shared
+// with the sharding front door (tools/saim_shard).
 //
 // Two output modes:
 //   * default — the whole input is read and submitted up front (so the
@@ -15,25 +17,19 @@
 //     close its write end before reading results.
 //   * --stream — result lines are emitted as jobs finish, each tagged
 //     with a "seq" number in completion order; long-running tails no
-//     longer dam the output. Line order is NOT input order.
+//     longer dam the output. Line order is NOT input order. Only jobs
+//     accepted into the service consume seq numbers: a line rejected at
+//     submission emits its error without one, so accepted jobs always
+//     see the contiguous range 0..accepted-1 (the sharding front door
+//     relies on this to remap per-shard seq to a global order).
 //
-// Job line schema (all fields except the instance source are optional):
-//   {"id": "j1",                     // echo-through label
-//    "type": "qkp" | "mkp",          // inferred from gen/format if absent
-//    "path": "jeu_100_25_1.txt",     // instance file ...
-//    "format": "billionnet" | "orlib" | "native",   // default by type
-//    "gen": "qkp:100-25-1",          // ... or a paper-style generated
-//                                    //     instance "N-density-k" /
-//                                    //     "mkp:N-M-k" instead of a file
-//    "backend": "pbit",              // see service::known_backends()
-//    "sweeps": 1000, "beta_max": 10.0,
-//    "iterations": 2000, "eta": 20.0, "penalty_alpha": 2.0,
-//    "seed": 1, "replicas": 1,
-//    "priority": "low" | "normal" | "high",
-//    "deadline_ms": 0,               // wall-clock budget, 0 = none
-//    "cache": true,
-//    "warm_start": false}            // seed from the per-problem pool
-//                                    //   (default: the --warm-start flag)
+// Control lines (answered by the front-end itself, never queued, never
+// numbered): {"cmd":"ping"} replies {"pong":true,"inflight":N} at once —
+// even mid-stream — and {"cmd":"drain"} replies {"drained":true} once
+// every job accepted before it has emitted its result.
+//
+// Job line schema: see docs/PROTOCOL.md (or service/job_parser.cpp's
+// kKnownKeys for the authoritative field list).
 //
 // Example:
 //   printf '%s\n' '{"id":"a","gen":"qkp:60-25-1","iterations":100}' \
@@ -45,22 +41,18 @@
 // stream.
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/report.hpp"
-#include "problems/mkp.hpp"
-#include "problems/qkp.hpp"
-#include "service/request_builders.hpp"
+#include "service/job_parser.hpp"
 #include "service/solve_service.hpp"
 #include "util/cli.hpp"
 #include "util/jsonl.hpp"
@@ -75,158 +67,9 @@ struct PendingJob {
   std::string backend;
   service::JobHandle handle;
   std::string error;  ///< submission-time failure; handle invalid
+  bool drain = false;  ///< {"cmd":"drain"} barrier, not a job
   bool emitted = false;  ///< result line already printed (--stream)
 };
-
-/// "qkp:100-25-1" -> generated paper instance. Throws on a malformed spec.
-service::SolveRequest request_from_gen(const std::string& spec,
-                                       std::string* instance_name) {
-  const auto colon = spec.find(':');
-  const std::string kind = spec.substr(0, colon);
-  std::size_t a = 0, b = 0, c = 0;
-  if (colon == std::string::npos ||
-      std::sscanf(spec.c_str() + colon + 1, "%zu-%zu-%zu", &a, &b, &c) != 3) {
-    throw std::runtime_error("bad gen spec '" + spec +
-                             "' (want qkp:N-density-k or mkp:N-M-k)");
-  }
-  service::SolveRequest request;
-  if (kind == "qkp") {
-    request = service::request_for(std::make_shared<problems::QkpInstance>(
-        problems::make_paper_qkp(a, static_cast<int>(b),
-                                 static_cast<int>(c))));
-  } else if (kind == "mkp") {
-    request = service::request_for(std::make_shared<problems::MkpInstance>(
-        problems::make_paper_mkp(a, b, static_cast<int>(c))));
-  } else {
-    throw std::runtime_error("bad gen spec '" + spec + "': unknown type '" +
-                             kind + "'");
-  }
-  *instance_name = request.tag;
-  return request;
-}
-
-/// Loads the instance named by path/format and lowers it to a request.
-service::SolveRequest request_from_file(const std::string& type,
-                                        const std::string& path,
-                                        const std::string& format,
-                                        std::string* instance_name) {
-  service::SolveRequest request;
-  if (type == "qkp") {
-    request = service::request_for(std::make_shared<problems::QkpInstance>(
-        format == "native" ? problems::load_qkp(path)
-                           : problems::load_qkp_billionnet(path)));
-  } else if (type == "mkp") {
-    request = service::request_for(std::make_shared<problems::MkpInstance>(
-        format == "native" ? problems::load_mkp(path)
-                           : problems::load_mkp_orlib(path)));
-  } else {
-    throw std::runtime_error("job needs \"type\": \"qkp\" or \"mkp\"");
-  }
-  *instance_name = request.tag;
-  return request;
-}
-
-service::Priority parse_priority(const std::string& p) {
-  if (p == "low") return service::Priority::kLow;
-  if (p == "high") return service::Priority::kHigh;
-  if (p.empty() || p == "normal") return service::Priority::kNormal;
-  throw std::runtime_error("bad priority '" + p +
-                           "' (want low, normal or high)");
-}
-
-/// Parses one JSONL job line into a ready-to-submit request.
-/// `warm_default` is the --warm-start flag; a per-job "warm_start" field
-/// overrides it either way.
-service::SolveRequest parse_job(const std::string& line, bool warm_default,
-                                std::string* instance_name) {
-  const util::JsonValue job = util::parse_json(line);
-  if (!job.is_object()) throw std::runtime_error("job line is not an object");
-
-  // A misspelled key ("iteration", "sweep") would otherwise silently run
-  // the job with defaults; hand-written job files deserve a hard error.
-  static const std::set<std::string> kKnownKeys = {
-      "id",         "type",      "path",          "format",
-      "gen",        "backend",   "sweeps",        "beta_max",
-      "iterations", "eta",       "penalty_alpha", "seed",
-      "replicas",   "priority",  "deadline_ms",   "cache",
-      "warm_start"};
-  for (const auto& [key, value] : job.object()) {
-    if (!kKnownKeys.contains(key)) {
-      throw std::runtime_error("unknown job field \"" + key + "\"");
-    }
-  }
-
-  auto str = [&](const char* key) {
-    const auto* v = job.find(key);
-    return v ? v->as_string() : std::string{};
-  };
-
-  std::string type = str("type");
-  service::SolveRequest request;
-  if (const auto* gen = job.find("gen")) {
-    request = request_from_gen(gen->as_string(), instance_name);
-  } else if (const auto* path = job.find("path")) {
-    std::string format = str("format");
-    if (type.empty()) {  // infer from format
-      if (format == "billionnet") type = "qkp";
-      if (format == "orlib") type = "mkp";
-    }
-    if (format.empty()) format = type == "mkp" ? "orlib" : "billionnet";
-    request = request_from_file(type, path->as_string(), format,
-                                instance_name);
-  } else {
-    throw std::runtime_error("job needs either \"gen\" or \"path\"");
-  }
-
-  auto num = [&](const char* key, double fallback) {
-    const auto* v = job.find(key);
-    if (v && !v->is_number()) {
-      throw std::runtime_error(std::string("field \"") + key +
-                               "\" must be a number");
-    }
-    return v ? v->as_double(fallback) : fallback;
-  };
-  // Counts must be nonnegative integers: a raw double->size_t cast of -1
-  // or 1e300 is UB and would silently produce a near-endless job.
-  auto count = [&](const char* key, std::uint64_t fallback) {
-    const auto* v = job.find(key);
-    if (!v) return fallback;
-    if (!v->is_number()) {
-      throw std::runtime_error(std::string("field \"") + key +
-                               "\" must be a number");
-    }
-    const double d = v->as_double();
-    if (!(d >= 0.0) || d > 9007199254740992.0 /* 2^53 */ ||
-        d != std::floor(d)) {
-      throw std::runtime_error(std::string("field \"") + key +
-                               "\" must be a nonnegative integer");
-    }
-    return static_cast<std::uint64_t>(d);
-  };
-  request.backend.name = str("backend").empty() ? "pbit" : str("backend");
-  request.backend.sweeps = static_cast<std::size_t>(count("sweeps", 1000));
-  request.backend.beta_max = num("beta_max", 10.0);
-
-  request.options.iterations =
-      static_cast<std::size_t>(count("iterations", 2000));
-  request.options.eta = num("eta", 20.0);
-  request.options.penalty_alpha = num("penalty_alpha", 2.0);
-  request.options.seed = count("seed", 1);
-  request.options.replicas = static_cast<std::size_t>(count("replicas", 1));
-
-  request.priority = parse_priority(str("priority"));
-  request.timeout = std::chrono::milliseconds(
-      static_cast<long>(count("deadline_ms", 0)));
-  if (const auto* cache = job.find("cache")) {
-    request.use_cache = cache->as_bool(true);
-  }
-  request.warm_start = warm_default;
-  if (const auto* warm = job.find("warm_start")) {
-    request.warm_start = warm->as_bool(warm_default);
-  }
-  request.tag = str("id");
-  return request;
-}
 
 }  // namespace
 
@@ -288,18 +131,19 @@ int main(int argc, char** argv) {
   bool any_error = false;
   std::int64_t next_seq = 0;
   // Renders (and marks emitted) the result/error line for a FINISHED job.
-  // In stream mode lines carry the emission sequence number; in batch
-  // mode they print after EOF in input order, without seq.
+  // In stream mode, lines for ACCEPTED jobs carry the emission sequence
+  // number; lines rejected at submission never consume one (the global
+  // completion order counts real jobs only). In batch mode results print
+  // after EOF in input order, without seq.
   const auto render = [&](PendingJob& job) -> std::string {
     job.emitted = true;
-    const std::int64_t seq = stream ? next_seq++ : -1;
     if (!job.handle.valid()) {
       any_error = true;
       util::JsonWriter err;
       err.field("id", job.id).field("error", job.error);
-      if (seq >= 0) err.field("seq", seq);
       return err.str();
     }
+    const std::int64_t seq = stream ? next_seq++ : -1;
     const auto response = job.handle.wait();  // finished: returns at once
     if (response->status == core::Status::kError) {
       any_error = true;
@@ -320,11 +164,20 @@ int main(int argc, char** argv) {
     context.seq = seq;
     return core::result_to_jsonl(*response->result, context);
   };
+  // A drain barrier's acknowledgement line (no seq: control lines never
+  // consume completion-order numbers).
+  const auto render_drain = [](PendingJob& job) -> std::string {
+    job.emitted = true;
+    util::JsonWriter ack;
+    ack.field("id", job.id).field("drained", true);
+    return ack.str();
+  };
 
   std::vector<PendingJob> jobs;
   std::vector<std::size_t> unemitted;  ///< indices into `jobs`, in order
   std::mutex jobs_mutex;  ///< stream mode: guards jobs/unemitted/render
   bool input_done = false;  ///< guarded by jobs_mutex
+  std::mutex out_mutex;  ///< serializes `out` between emitter and pongs
 
   // Stream mode emits from a dedicated thread so completions surface the
   // moment they happen — even while the main thread is blocked in getline
@@ -335,7 +188,9 @@ int main(int argc, char** argv) {
   // submission), and exits once input is done and everything is emitted.
   // The exit check reads input_done inside the same critical section as
   // the sweep, so a final job pushed before input_done was set can never
-  // be skipped.
+  // be skipped. A drain barrier emits only once every entry before it has
+  // — jobs after it may still overtake it, matching the contract that
+  // "drained" certifies the PAST, not the future.
   std::thread emitter;
   if (stream) {
     emitter = std::thread([&] {
@@ -345,17 +200,29 @@ int main(int argc, char** argv) {
         bool all_emitted;
         {
           std::lock_guard<std::mutex> lock(jobs_mutex);
+          bool blocked = false;  // an earlier entry is still unfinished
           std::erase_if(unemitted, [&](std::size_t i) {
             PendingJob& job = jobs[i];
-            if (job.handle.valid() && !job.handle.try_get()) return false;
+            if (job.drain) {
+              if (blocked) return false;
+              lines.push_back(render_drain(job));
+              return true;
+            }
+            if (job.handle.valid() && !job.handle.try_get()) {
+              blocked = true;
+              return false;
+            }
             lines.push_back(render(job));
             return true;
           });
           all_emitted = unemitted.empty();
           done = input_done;
         }
-        for (const auto& l : lines) out << l << "\n";
-        if (!lines.empty()) out.flush();
+        if (!lines.empty()) {
+          std::lock_guard<std::mutex> lock(out_mutex);
+          for (const auto& l : lines) out << l << "\n";
+          out.flush();
+        }
         if (done && all_emitted) return;
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
@@ -370,23 +237,44 @@ int main(int argc, char** argv) {
     PendingJob pending;
     pending.id = "job" + std::to_string(line_no);
     try {
-      std::string instance_name;
-      service::SolveRequest request =
-          parse_job(line, warm_default, &instance_name);
-      if (!request.tag.empty()) pending.id = request.tag;
-      request.tag = pending.id;
-      pending.instance = instance_name;
-      pending.backend = request.backend.name;
-      pending.handle = svc.submit(std::move(request));
+      const util::JsonValue parsed = util::parse_json(line);
+      // Use the line's own id everywhere — result lines, error lines,
+      // control acknowledgements — falling back to the line number.
+      if (const auto* id = parsed.find("id")) {
+        if (!id->as_string().empty()) pending.id = id->as_string();
+      }
+      if (const auto cmd = service::control_cmd(parsed)) {
+        if (*cmd == "ping") {
+          // Liveness probe: answered immediately, even in batch mode and
+          // even while every worker is busy (submission never blocks).
+          // "inflight" counts ACCEPTED jobs not yet emitted — rejected
+          // lines and drain barriers are not load.
+          std::size_t inflight = 0;
+          {
+            std::lock_guard<std::mutex> lock(jobs_mutex);
+            for (const std::size_t i : unemitted) {
+              if (jobs[i].handle.valid()) ++inflight;
+            }
+          }
+          util::JsonWriter pong;
+          pong.field("id", pending.id)
+              .field("pong", true)
+              .field("inflight", static_cast<std::uint64_t>(inflight));
+          std::lock_guard<std::mutex> lock(out_mutex);
+          out << pong.str() << "\n";
+          out.flush();
+          continue;
+        }
+        pending.drain = true;  // barrier; acknowledged by the emitter
+      } else {
+        service::ParsedJob job = service::parse_job(parsed, warm_default);
+        job.request.tag = pending.id;
+        pending.instance = job.instance;
+        pending.backend = job.request.backend.name;
+        pending.handle = svc.submit(std::move(job.request));
+      }
     } catch (const std::exception& e) {
       pending.error = e.what();
-      // Recover the id for the error line when the JSON itself was fine.
-      try {
-        if (const auto* id = util::parse_json(line).find("id")) {
-          if (!id->as_string().empty()) pending.id = id->as_string();
-        }
-      } catch (...) {
-      }
     }
     {
       // Uncontended in batch mode (the emitter thread only exists with
@@ -404,7 +292,9 @@ int main(int argc, char** argv) {
     }
     emitter.join();  // drains every remaining completion, then exits
   } else {
-    for (auto& job : jobs) out << render(job) << "\n";
+    for (auto& job : jobs) {
+      out << (job.drain ? render_drain(job) : render(job)) << "\n";
+    }
   }
   out.flush();
 

@@ -1,0 +1,310 @@
+// saim_shard — sharded multi-process serving front door.
+//
+// Speaks the docs/PROTOCOL.md JSONL wire format on both sides: clients
+// talk to saim_shard exactly as they would to `saim_serve --stream`, and
+// saim_shard spawns and supervises N `saim_serve --stream` child
+// processes (one per shard) over pipes, routing each job by consistent
+// hashing on its canonical problem fingerprint. All jobs over one
+// instance land on one shard, so that shard's result cache, coalescer,
+// same-instance batcher and warm-start pool stay hot for its keyslice —
+// the front door multiplies PR 3's single-process wins by the shard
+// count. The routing/remapping brain is service/shard_router.{hpp,cpp};
+// the pipe plumbing is service/process_child.{hpp,cpp}.
+//
+// Semantics (all inherited from the router):
+//   * results stream in global completion order, each accepted job tagged
+//     with a global "seq" (per-shard seqs are remapped; rejected lines
+//     carry none);
+//   * per-shard bounded in-flight windows give backpressure — a slow
+//     shard throttles only its own keyslice;
+//   * children are health-probed with {"cmd":"ping"} control lines; a
+//     child that stops answering is killed, and any child that dies is
+//     dropped from the ring with its unanswered jobs requeued onto the
+//     next live shard (zero lost jobs across a crash);
+//   * on EOF the front door drains every shard (close stdin, collect
+//     remaining results) before exiting.
+//
+// Example — route a stream across 4 shards, 1 worker each:
+//   saim_shard --shards 4 --workers 1 < jobs.jsonl > results.jsonl
+//
+// Exit status mirrors saim_serve: 0 all jobs ok, 1 any error line, 2 bad
+// invocation.
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/process_child.hpp"
+#include "service/shard_driver.hpp"
+#include "service/shard_router.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace saim;
+
+/// saim_serve is expected to sit next to saim_shard unless --serve says
+/// otherwise.
+std::string sibling_serve_path(const char* argv0) {
+  const std::string self(argv0 ? argv0 : "");
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return "saim_serve";  // rely on PATH
+  return self.substr(0, slash + 1) + "saim_serve";
+}
+
+/// Mirrors the execvp lookup so a mistyped --serve fails with one clear
+/// exit-2 diagnostic instead of N silent child exec failures.
+bool executable_exists(const std::string& serve) {
+  if (serve.find('/') != std::string::npos) {
+    return ::access(serve.c_str(), X_OK) == 0;
+  }
+  const char* path = std::getenv("PATH");
+  if (!path) return false;
+  std::string dirs(path);
+  std::size_t start = 0;
+  while (start <= dirs.size()) {
+    const std::size_t colon = dirs.find(':', start);
+    std::string dir =
+        dirs.substr(start, colon == std::string::npos ? std::string::npos
+                                                      : colon - start);
+    if (dir.empty()) dir = ".";  // empty PATH component = cwd, per execvp
+    if (::access((dir + "/" + serve).c_str(), X_OK) == 0) return true;
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("saim_shard",
+                       "shard a JSONL solve-job stream across saim_serve "
+                       "worker processes");
+  args.add_flag("shards", "saim_serve child processes to spawn", "2")
+      .add_flag("serve", "path to the saim_serve binary (default: next to "
+                "this one)", "")
+      .add_flag("input", "job stream path, - for stdin", "-")
+      .add_flag("output", "result stream path, - for stdout", "-")
+      .add_flag("workers", "solver worker threads PER SHARD (0 = hardware)",
+                "1")
+      .add_flag("cache", "result-cache capacity per shard (0 disables)",
+                "256")
+      .add_flag("max-batch",
+                "same-instance jobs fused per model build per shard", "8")
+      .add_bool("warm-start",
+                "make \"warm_start\": true the per-job default on every "
+                "shard")
+      .add_flag("window", "max in-flight jobs per shard", "32")
+      .add_flag("ping-ms",
+                "health-probe interval; a shard missing 5 pongs is killed "
+                "and its jobs requeued (0 disables)",
+                "1000")
+      .add_bool("stats", "per-shard routing summary on stderr at exit");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+
+  const auto nonneg = [&](const char* flag) {
+    return static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.get_int(flag)));
+  };
+  service::RouterOptions router_options;
+  router_options.shards = std::max<std::size_t>(1, nonneg("shards"));
+  router_options.window = std::max<std::size_t>(1, nonneg("window"));
+  const long ping_ms = static_cast<long>(nonneg("ping-ms"));
+
+  std::string serve = args.get("serve");
+  if (serve.empty()) serve = sibling_serve_path(argv[0]);
+  if (!executable_exists(serve)) {
+    std::fprintf(stderr, "saim_shard: cannot execute '%s'\n", serve.c_str());
+    return 2;
+  }
+
+  std::ifstream file_in;
+  const std::string input = args.get("input");
+  if (input != "-") {
+    file_in.open(input);
+    if (!file_in) {
+      std::fprintf(stderr, "saim_shard: cannot open '%s'\n", input.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = input == "-" ? std::cin : file_in;
+
+  std::ofstream file_out;
+  const std::string output = args.get("output");
+  if (output != "-") {
+    file_out.open(output);
+    if (!file_out) {
+      std::fprintf(stderr, "saim_shard: cannot open '%s'\n", output.c_str());
+      return 2;
+    }
+  }
+  std::ostream& out = output == "-" ? std::cout : file_out;
+
+  // Spawn the fleet. Each shard is a full saim_serve in --stream mode.
+  std::vector<std::string> child_args = {
+      serve,
+      "--stream",
+      "--workers", args.get("workers"),
+      "--cache", args.get("cache"),
+      "--max-batch", args.get("max-batch"),
+  };
+  if (args.get_bool("warm-start")) child_args.push_back("--warm-start");
+  std::vector<std::unique_ptr<service::ProcessChild>> children;
+  children.reserve(router_options.shards);
+  for (std::size_t s = 0; s < router_options.shards; ++s) {
+    children.push_back(
+        std::make_unique<service::ProcessChild>(child_args));
+  }
+  service::ShardRouter router(router_options);
+
+  // Memory backstops. The routed-jobs side: stop parsing/routing when
+  // this many jobs wait for a window slot. The raw-lines side: the reader
+  // thread blocks once this many unconsumed lines are buffered, so a fast
+  // producer cannot balloon RSS with the whole stream.
+  const std::size_t high_water = router_options.shards *
+                                 router_options.window * 4;
+  const std::size_t line_buffer_cap = std::max<std::size_t>(high_water * 4,
+                                                            4096);
+
+  // Input on its own thread so a slow producer never stalls the pumps
+  // (same pattern as saim_serve's emitter, mirrored to the read side).
+  std::mutex lines_mutex;
+  std::condition_variable lines_cv;  ///< reader waits for buffer room
+  std::deque<std::string> lines;
+  bool input_done = false;
+  std::thread reader([&] {
+    std::string line;
+    while (std::getline(in, line)) {
+      std::unique_lock<std::mutex> lock(lines_mutex);
+      lines_cv.wait(lock, [&] { return lines.size() < line_buffer_cap; });
+      lines.push_back(std::move(line));
+    }
+    std::lock_guard<std::mutex> lock(lines_mutex);
+    input_done = true;
+  });
+
+  const auto emit = [&](const std::vector<std::string>& emitted) {
+    if (emitted.empty()) return;
+    for (const auto& l : emitted) out << l << "\n";
+    out.flush();
+  };
+
+  std::size_t line_no = 0;
+  auto last_ping = std::chrono::steady_clock::now();
+  std::vector<int> missed_pongs(router_options.shards, 0);
+  std::vector<bool> ping_outstanding(router_options.shards, false);
+
+  for (;;) {
+    // Ingest as much input as backpressure allows.
+    bool done;
+    for (;;) {
+      std::string line;
+      {
+        std::lock_guard<std::mutex> lock(lines_mutex);
+        done = input_done && lines.empty();
+        if (lines.empty() || router.total_pending() >= high_water) break;
+        line = std::move(lines.front());
+        lines.pop_front();
+      }
+      lines_cv.notify_one();
+      ++line_no;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      emit(router.accept_line(line, line_no));
+    }
+
+    emit(service::pump_shards(router, children, 2));
+    for (std::size_t s = 0; s < children.size(); ++s) {
+      // A child that exec-failed or crashed instantly deserves a loud
+      // note; the router has already requeued or errored its jobs.
+      if (children[s] && !router.alive(s) && children[s]->eof() &&
+          !children[s]->running() && WIFEXITED(children[s]->exit_status()) &&
+          WEXITSTATUS(children[s]->exit_status()) == 127) {
+        std::fprintf(stderr, "saim_shard: shard %zu could not exec '%s'\n",
+                     s, serve.c_str());
+        children[s].reset();
+      }
+    }
+    // With no live child there is no pollable fd, so pump_shards returns
+    // immediately; sleep instead of spinning while input stays open.
+    if (router.live_shards() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // Health probes: a shard missing 5 consecutive pongs while its
+    // process still looks alive is wedged — kill it; EOF then routes its
+    // jobs to the survivors. Only intervals with a ping actually
+    // outstanding count as misses.
+    if (ping_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_ping >= std::chrono::milliseconds(ping_ms)) {
+        last_ping = now;
+        for (std::size_t s = 0; s < children.size(); ++s) {
+          if (!children[s] || !router.alive(s)) continue;
+          if (router.take_pong(s)) {
+            missed_pongs[s] = 0;
+          } else if (ping_outstanding[s] && ++missed_pongs[s] >= 5) {
+            std::fprintf(stderr,
+                         "saim_shard: shard %zu unresponsive, killing\n", s);
+            children[s]->kill(SIGKILL);
+            ping_outstanding[s] = false;
+            continue;
+          }
+          children[s]->send_line(R"({"cmd":"ping"})");
+          ping_outstanding[s] = true;
+        }
+      }
+    }
+
+    if (done && router.idle()) break;
+  }
+
+  // Graceful drain: close every child's stdin; saim_serve exits after
+  // emitting what little may remain (router.idle() already guarantees
+  // every job was answered, so this is just process teardown).
+  for (auto& child : children) {
+    if (child) child->close_stdin();
+  }
+  for (std::size_t s = 0; s < children.size(); ++s) {
+    if (!children[s]) continue;
+    for (int spins = 0; children[s]->running() && spins < 2000; ++spins) {
+      children[s]->read_lines();  // let it flush and reach EOF
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (children[s]->running()) children[s]->kill(SIGKILL);
+  }
+  reader.join();
+
+  if (args.get_bool("stats")) {
+    const auto& s = router.stats();
+    std::fprintf(stderr,
+                 "saim_shard: %llu accepted, %llu emitted, %llu rejected, "
+                 "%llu requeued, %llu orphaned, %zu/%zu shards alive\n",
+                 static_cast<unsigned long long>(s.accepted),
+                 static_cast<unsigned long long>(s.emitted),
+                 static_cast<unsigned long long>(s.rejected),
+                 static_cast<unsigned long long>(s.requeued),
+                 static_cast<unsigned long long>(s.orphaned),
+                 router.live_shards(), children.size());
+    for (std::size_t i = 0; i < s.routed_per_shard.size(); ++i) {
+      std::fprintf(stderr, "  shard %zu: %llu jobs routed%s\n", i,
+                   static_cast<unsigned long long>(s.routed_per_shard[i]),
+                   router.alive(i) ? "" : " (down)");
+    }
+  }
+  return router.any_error() ? 1 : 0;
+}
