@@ -23,19 +23,25 @@
 //     holds by construction and the JSON records it.
 //   * sharded — the same mixed stream as JSONL lines through the
 //     multi-process front door (service/shard_router + saim_serve
-//     children, 1 worker each) at 1/2/4 shards: throughput should scale
+//     children, 1 worker each) at 1/2/4 shards and over BOTH transports:
+//     fork/exec pipes (transport "pipe") and loopback TCP against
+//     `saim_serve --listen` servers (transport "socket"), so pipe-vs-TCP
+//     overhead is tracked release over release. Throughput should scale
 //     with shard count on multicore boxes. Skipped (and marked so in the
 //     JSON) when the saim_serve binary is not next to the bench.
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/socket_child.hpp"
 #include "problems/mkp.hpp"
 #include "problems/qkp.hpp"
 #include "service/process_child.hpp"
@@ -155,19 +161,59 @@ std::vector<std::string> make_job_lines(std::size_t jobs,
   return lines;
 }
 
-/// Routes `lines` through `shards` saim_serve children (1 worker each);
-/// returns wall seconds, or a negative value when any job failed.
-double run_sharded_wave(const std::string& serve,
-                        const std::vector<std::string>& lines,
-                        std::size_t shards) {
-  std::vector<std::unique_ptr<service::ProcessChild>> children;
+/// Spawns `shards` pipe children (saim_serve --stream) as endpoints.
+std::vector<std::unique_ptr<net::ShardEndpoint>> spawn_pipe_fleet(
+    const std::string& serve, std::size_t shards) {
+  std::vector<std::unique_ptr<net::ShardEndpoint>> children;
   for (std::size_t s = 0; s < shards; ++s) {
     children.push_back(std::make_unique<service::ProcessChild>(
         std::vector<std::string>{serve, "--stream", "--workers", "1",
                                  "--cache", "0"}));
   }
+  return children;
+}
+
+/// Spawns `shards` loopback `saim_serve --listen` servers and connects a
+/// SocketChild to each. The listener processes ride along in `servers`
+/// (torn down by the caller when the endpoints close). Returns an empty
+/// endpoint vector when a server fails to come up in time.
+std::vector<std::unique_ptr<net::ShardEndpoint>> spawn_socket_fleet(
+    const std::string& serve, std::size_t shards,
+    std::vector<std::unique_ptr<service::ProcessChild>>* servers) {
+  std::vector<std::unique_ptr<net::ShardEndpoint>> endpoints;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string port_file =
+        "bench_listen_port_" + std::to_string(s) + ".tmp";
+    std::remove(port_file.c_str());
+    servers->push_back(std::make_unique<service::ProcessChild>(
+        std::vector<std::string>{serve, "--listen", "127.0.0.1:0",
+                                 "--port-file", port_file, "--stream",
+                                 "--workers", "1", "--cache", "0"}));
+    int port = 0;
+    for (int spin = 0; spin < 5000 && port == 0; ++spin) {
+      std::ifstream pf(port_file);
+      if (!(pf >> port)) {
+        port = 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    std::remove(port_file.c_str());
+    if (port == 0) return {};
+    endpoints.push_back(
+        std::make_unique<net::SocketChild>("127.0.0.1", port));
+  }
+  return endpoints;
+}
+
+/// Routes `lines` through an already-spawned fleet of endpoints (1
+/// worker each); returns wall seconds, or a negative value when any job
+/// failed.
+double run_sharded_wave(
+    std::vector<std::unique_ptr<net::ShardEndpoint>> children,
+    const std::vector<std::string>& lines) {
+  if (children.empty()) return -1.0;
   service::RouterOptions options;
-  options.shards = shards;
+  options.shards = children.size();
   service::ShardRouter router(options);
 
   util::WallTimer timer;
@@ -182,7 +228,7 @@ double run_sharded_wave(const std::string& serve,
     if (timer.seconds() > 300.0) return -1.0;  // wedged child: fail loudly
   }
   const double seconds = timer.seconds();
-  for (auto& child : children) child->close_stdin();
+  for (auto& child : children) child->shutdown_input();
   if (router.any_error() || emitted != lines.size()) return -1.0;
   return seconds;
 }
@@ -383,7 +429,9 @@ int main(int argc, char** argv) {
   // -------------------------------------------------------- sharded phase
   // The same mixed stream through the multi-process front door at growing
   // shard counts (1 solver worker per shard, cache off): jobs/sec should
-  // grow with shards up to the core count.
+  // grow with shards up to the core count. Run over both transports —
+  // pipes (local forks) and loopback TCP (saim_serve --listen) — so the
+  // socket overhead is a tracked number, not a guess.
   const std::string serve = args.get("serve");
   util::JsonWriter sharded_json;
   if (::access(serve.c_str(), X_OK) != 0) {
@@ -392,28 +440,54 @@ int main(int argc, char** argv) {
   } else {
     const auto lines = make_job_lines(jobs, instances, n, iterations, sweeps);
     const std::size_t shard_counts[] = {1, 2, 4};
-    double shard_jps[3] = {0, 0, 0};
+    double pipe_jps[3] = {0, 0, 0};
+    double socket_jps_1 = 0.0;
     std::string rows = "[";
-    for (std::size_t i = 0; i < 3; ++i) {
-      const double seconds = run_sharded_wave(serve, lines, shard_counts[i]);
-      shard_jps[i] =
-          seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
-      std::printf("  %zu shard%s: %6.2f jobs/sec (%.2fs)\n", shard_counts[i],
-                  shard_counts[i] == 1 ? " " : "s", shard_jps[i],
-                  seconds);
+    bool first_row = true;
+    const auto add_row = [&](const char* transport, std::size_t shards,
+                             double jps, double seconds) {
       util::JsonWriter row;
-      row.field("shards", static_cast<std::uint64_t>(shard_counts[i]))
-          .field("jobs_per_sec", shard_jps[i])
+      row.field("transport", transport)
+          .field("shards", static_cast<std::uint64_t>(shards))
+          .field("jobs_per_sec", jps)
           .field("seconds", seconds);
-      rows += (i ? "," : "") + row.str();
+      rows += (first_row ? "" : ",") + row.str();
+      first_row = false;
+    };
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double seconds = run_sharded_wave(
+          spawn_pipe_fleet(serve, shard_counts[i]), lines);
+      pipe_jps[i] = seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
+      std::printf("  pipe   %zu shard%s: %6.2f jobs/sec (%.2fs)\n",
+                  shard_counts[i], shard_counts[i] == 1 ? " " : "s",
+                  pipe_jps[i], seconds);
+      add_row("pipe", shard_counts[i], pipe_jps[i], seconds);
+    }
+    // Socket transport at 1 and 2 shards: enough to price the transport
+    // without re-measuring the scaling curve twice.
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+      std::vector<std::unique_ptr<service::ProcessChild>> servers;
+      const double seconds = run_sharded_wave(
+          spawn_socket_fleet(serve, shards, &servers), lines);
+      for (auto& server : servers) server->terminate();
+      const double jps =
+          seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
+      if (shards == 1) socket_jps_1 = jps;
+      std::printf("  socket %zu shard%s: %6.2f jobs/sec (%.2fs)\n", shards,
+                  shards == 1 ? " " : "s", jps, seconds);
+      add_row("socket", shards, jps, seconds);
     }
     rows += "]";
-    const double scaling =
-        shard_jps[0] > 0 ? shard_jps[1] / shard_jps[0] : 0.0;
-    std::printf("  shard scaling 1 -> 2: %.2fx\n", scaling);
+    const double scaling = pipe_jps[0] > 0 ? pipe_jps[1] / pipe_jps[0] : 0.0;
+    const double socket_overhead =
+        socket_jps_1 > 0 ? pipe_jps[0] / socket_jps_1 : 0.0;
+    std::printf("  shard scaling 1 -> 2 (pipe): %.2fx; pipe/socket at 1 "
+                "shard: %.2fx\n",
+                scaling, socket_overhead);
     sharded_json.field("skipped", false)
         .raw_field("shards", rows)
-        .field("scaling_1_to_2", scaling);
+        .field("scaling_1_to_2", scaling)
+        .field("pipe_over_socket_1shard", socket_overhead);
   }
 
   util::JsonWriter doc;

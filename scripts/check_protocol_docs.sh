@@ -4,8 +4,10 @@
 # docs/PROTOCOL.md promises to document every JSONL field the serving
 # layer speaks. This script extracts the ground truth from the sources —
 #   * response-side: every .field("...")/.raw_field("...") name in the
-#     JSONL emitters (core/report.cpp's result_to_jsonl, saim_serve's
-#     error/control lines, and the shard router's rewritten/error lines),
+#     JSONL emitters (core/report.cpp's result_to_jsonl, the stream
+#     session's result/control/barrier lines, the shard router's
+#     rewritten/error lines, the supervisor's fleet control lines, and
+#     whatever the tools emit themselves),
 #   * request-side: the kKnownKeys job whitelist and the kControlKeys
 #     control-line whitelist in src/service/job_parser.cpp —
 # and fails when any name is missing from the doc (backtick-quoted, so a
@@ -22,7 +24,8 @@ fi
 
 emitted=$(grep -hoE '\.(raw_)?field\("[a-z_]+"' \
             src/core/report.cpp tools/saim_serve.cpp tools/saim_shard.cpp \
-            src/service/shard_router.cpp |
+            src/service/shard_router.cpp src/service/stream_session.cpp \
+            src/service/supervisor.cpp |
           grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
 accepted=$(awk '/kKnownKeys = \{/,/\};/' src/service/job_parser.cpp |
            grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)

@@ -1,0 +1,165 @@
+#include "net/connection.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+namespace saim::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+}  // namespace
+
+Connection::Connection(int fd) : fd_(fd) {
+  ignore_sigpipe_once();
+  set_nonblocking(fd_);
+  set_cloexec(fd_);
+  // Result lines are small and latency matters more than throughput on a
+  // serving path; losing Nagle is free on pipes-sized messages.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      outbuf_(std::move(other.outbuf_)),
+      framer_(std::move(other.framer_)),
+      write_broken_(other.write_broken_),
+      eof_(other.eof_) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    outbuf_ = std::move(other.outbuf_);
+    framer_ = std::move(other.framer_);
+    write_broken_ = other.write_broken_;
+    eof_ = other.eof_;
+  }
+  return *this;
+}
+
+void Connection::send_line(const std::string& line) {
+  if (write_broken_ || fd_ < 0) return;
+  outbuf_ += line;
+  outbuf_ += '\n';
+}
+
+bool Connection::pump_writes() {
+  if (write_broken_) return false;
+  if (fd_ < 0 || outbuf_.empty()) return fd_ >= 0;
+  switch (write_some(fd_, outbuf_)) {
+    case WriteStatus::kOk:
+    case WriteStatus::kBlocked:
+      return true;
+    case WriteStatus::kBroken:
+      write_broken_ = true;
+      outbuf_.clear();
+      return false;
+  }
+  return false;  // unreachable
+}
+
+std::vector<std::string> Connection::read_lines() {
+  if (fd_ >= 0 && !eof_) {
+    switch (read_available(fd_, framer_)) {
+      case ReadStatus::kOk:
+        break;
+      case ReadStatus::kEof:
+      case ReadStatus::kError:
+        eof_ = true;
+        break;
+    }
+  }
+  return framer_.take_lines();
+}
+
+void Connection::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<HostPort> parse_hostport(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    return std::nullopt;
+  }
+  HostPort hp;
+  hp.host = spec.substr(0, colon);
+  // Strip IPv6 brackets: "[::1]:7777" names host "::1".
+  if (hp.host.size() >= 2 && hp.host.front() == '[' &&
+      hp.host.back() == ']') {
+    hp.host = hp.host.substr(1, hp.host.size() - 2);
+  }
+  if (hp.host.empty()) return std::nullopt;
+  const std::string digits = spec.substr(colon + 1);
+  int port = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  hp.port = port;
+  return hp;
+}
+
+Connection connect_to(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &result);
+  if (rc != 0) {
+    throw std::runtime_error("cannot resolve " + host + ":" + service +
+                             ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* ai = result; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw std::runtime_error("cannot connect to " + host + ":" + service +
+                             ": " + ::strerror(saved_errno));
+  }
+  return Connection(fd);
+}
+
+}  // namespace saim::net

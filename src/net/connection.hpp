@@ -1,0 +1,83 @@
+// net::Connection — a non-blocking, line-framed stream socket.
+//
+// One Connection wraps one connected stream fd (TCP socket, socketpair
+// end, ...) and speaks newline-delimited lines over it with the same
+// buffering discipline as the pipe transport: outbound lines accumulate
+// in user space and flush as the kernel accepts them (pump_writes), so a
+// single thread can multiplex many connections without ever blocking on
+// a full send buffer; inbound bytes accumulate until complete lines are
+// available (read_lines). A half-line at EOF is dropped.
+//
+// Lifecycle: eof() becomes true when the peer closed its write side (or
+// the connection reset); broken() when our writes started failing. The
+// owner polls fd() for readability. Move-only; the destructor closes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+
+namespace saim::net {
+
+class Connection {
+ public:
+  Connection() = default;  ///< empty (fd() < 0); assign from connect/accept
+  /// Takes ownership of a connected stream fd and makes it non-blocking.
+  explicit Connection(int fd);
+  ~Connection();
+
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Queues `line` (plus the trailing newline) for the peer.
+  void send_line(const std::string& line);
+
+  /// Flushes as much queued output as the socket accepts right now.
+  /// Returns false once the connection is broken (queued bytes dropped).
+  bool pump_writes();
+
+  /// Non-blocking read: drains what the peer has sent and returns the
+  /// complete lines. Sets eof() on an orderly close or a reset.
+  std::vector<std::string> read_lines();
+
+  /// Half-close: signals EOF to the peer (shutdown(SHUT_WR)) while the
+  /// read side stays open — the graceful "no more requests" signal.
+  void shutdown_write();
+
+  /// Closes the fd outright (both directions).
+  void close();
+
+  [[nodiscard]] bool eof() const noexcept { return eof_; }
+  [[nodiscard]] bool broken() const noexcept { return write_broken_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] std::size_t outbound_bytes() const noexcept {
+    return outbuf_.size();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string outbuf_;
+  LineFramer framer_;
+  bool write_broken_ = false;
+  bool eof_ = false;
+};
+
+struct HostPort {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses "host:port" ("127.0.0.1:7777", "[::1]:7777", "box:7777").
+/// Returns std::nullopt when the port is missing or not in 0..65535.
+std::optional<HostPort> parse_hostport(const std::string& spec);
+
+/// Connects (blocking) to host:port and returns the non-blocking
+/// Connection. Throws std::runtime_error naming the endpoint on failure.
+Connection connect_to(const std::string& host, int port);
+
+}  // namespace saim::net

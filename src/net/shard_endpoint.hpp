@@ -1,0 +1,66 @@
+// net::ShardEndpoint — what the sharding layer needs from a transport.
+//
+// ShardRouter is pure routing state and shard_driver/Supervisor are pure
+// pump logic; everything they ask of a shard is line-oriented: queue a
+// line, flush, read complete lines, learn about EOF, offer a pollable
+// fd. This interface is that contract, so the fleet can mix transports
+// freely:
+//
+//   * service::ProcessChild — a local `saim_serve --stream` child over
+//     fork/exec pipes (respawnable by the Supervisor);
+//   * net::SocketChild — a remote `saim_serve --listen` over TCP (joins
+//     the same hash ring; crash-handled, but not respawnable from here).
+//
+// All implementations are non-blocking on both sides: send_line buffers
+// in user space, pump_writes flushes what the kernel accepts, read_lines
+// drains what arrived. One thread multiplexes any number of endpoints
+// with poll() on read_fd().
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saim::net {
+
+class ShardEndpoint {
+ public:
+  virtual ~ShardEndpoint() = default;
+
+  /// Queues `line` (plus the trailing newline) for the shard.
+  virtual void send_line(const std::string& line) = 0;
+
+  /// Flushes as much queued output as the transport accepts right now.
+  /// Returns false once the write side is broken (shard gone).
+  virtual bool pump_writes() = 0;
+
+  /// Non-blocking read of every complete line the shard has produced.
+  /// Sets eof() once the shard closed its output.
+  virtual std::vector<std::string> read_lines() = 0;
+
+  /// Graceful "no more requests": EOF on the shard's input (close the
+  /// pipe / shutdown(SHUT_WR)); its output stays readable for the drain.
+  virtual void shutdown_input() = 0;
+
+  /// Hard stop: SIGKILL the child / close the socket. The endpoint then
+  /// reaches eof() like any other death.
+  virtual void terminate() = 0;
+
+  /// Collects whatever the transport must not leak once the shard died
+  /// (reaps a zombie child via waitpid; no-op for sockets). Idempotent.
+  virtual void reap() noexcept {}
+
+  /// True once the shard closed its output (all lines received).
+  [[nodiscard]] virtual bool eof() const = 0;
+
+  /// The fd to poll() for readability; negative when nothing to poll.
+  [[nodiscard]] virtual int read_fd() const = 0;
+
+  /// Bytes queued but not yet accepted by the transport.
+  [[nodiscard]] virtual std::size_t outbound_bytes() const = 0;
+
+  /// Human-readable endpoint identity for logs ("pid 4242", "tcp
+  /// 10.0.0.7:7777").
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+}  // namespace saim::net

@@ -1,0 +1,41 @@
+#include "net/socket_child.hpp"
+
+#include <utility>
+
+namespace saim::net {
+
+SocketChild::SocketChild(std::string host, int port)
+    : host_(std::move(host)),
+      port_(port),
+      connection_(connect_to(host_, port_)) {}
+
+void SocketChild::send_line(const std::string& line) {
+  connection_.send_line(line);
+}
+
+bool SocketChild::pump_writes() { return connection_.pump_writes(); }
+
+std::vector<std::string> SocketChild::read_lines() {
+  return connection_.read_lines();
+}
+
+void SocketChild::shutdown_input() { connection_.shutdown_write(); }
+
+void SocketChild::terminate() { connection_.close(); }
+
+bool SocketChild::eof() const {
+  // A closed fd means terminate() ran: nothing more will ever arrive.
+  return connection_.eof() || connection_.fd() < 0;
+}
+
+int SocketChild::read_fd() const { return connection_.fd(); }
+
+std::size_t SocketChild::outbound_bytes() const {
+  return connection_.outbound_bytes();
+}
+
+std::string SocketChild::describe() const {
+  return "tcp " + host_ + ":" + std::to_string(port_);
+}
+
+}  // namespace saim::net

@@ -29,9 +29,22 @@ const std::set<std::string>& known_keys() {
 }
 
 // Keys a control line may carry (gate-checked like kKnownKeys above).
+// "warm" rides only on import_warm and "shards" only on reshard; the
+// per-command whitelists in control_cmd() enforce that split.
 const std::set<std::string>& control_keys() {
-  static const std::set<std::string> kControlKeys = {"cmd", "id"};
+  static const std::set<std::string> kControlKeys = {"cmd", "id", "warm",
+                                                     "shards"};
   return kControlKeys;
+}
+
+/// Extra keys (beyond cmd/id) each control command accepts.
+const std::set<std::string>& control_extra_keys(const std::string& cmd) {
+  static const std::set<std::string> kNone;
+  static const std::set<std::string> kImportWarm = {"warm"};
+  static const std::set<std::string> kReshard = {"shards"};
+  if (cmd == "import_warm") return kImportWarm;
+  if (cmd == "reshard") return kReshard;
+  return kNone;
 }
 
 /// "qkp:100-25-1" -> generated paper instance. Throws on a malformed spec.
@@ -222,15 +235,23 @@ std::optional<std::string> control_cmd(const util::JsonValue& line) {
   if (!line.is_object()) return std::nullopt;
   const auto* cmd = line.find("cmd");
   if (!cmd) return std::nullopt;
-  for (const auto& [key, value] : line.object()) {
-    if (!control_keys().contains(key)) {
-      throw std::runtime_error("unknown control field \"" + key + "\"");
-    }
-  }
   const std::string& name = cmd->as_string();
-  if (name != "ping" && name != "drain") {
-    throw std::runtime_error("unknown control cmd \"" + name +
-                             "\" (want ping or drain)");
+  static const std::set<std::string> kCommands = {
+      "ping", "drain", "shutdown", "export_warm", "import_warm", "reshard"};
+  if (!kCommands.contains(name)) {
+    throw std::runtime_error(
+        "unknown control cmd \"" + name +
+        "\" (want ping, drain, shutdown, export_warm, import_warm or "
+        "reshard)");
+  }
+  const auto& extras = control_extra_keys(name);
+  for (const auto& [key, value] : line.object()) {
+    if (key == "cmd" || key == "id" || extras.contains(key)) continue;
+    if (control_keys().contains(key)) {
+      throw std::runtime_error("control field \"" + key +
+                               "\" does not belong on cmd \"" + name + "\"");
+    }
+    throw std::runtime_error("unknown control field \"" + key + "\"");
   }
   return name;
 }

@@ -43,10 +43,14 @@ ParsedJob parse_job(const util::JsonValue& job, bool warm_default);
 /// Convenience: parse_json + parse_job (also throws on malformed JSON).
 ParsedJob parse_job_line(const std::string& line, bool warm_default);
 
-/// Control-line detection. Returns the command ("ping" or "drain") when
-/// `line` is a control object, std::nullopt when it is a plain job.
-/// Throws std::runtime_error on an unknown command or stray keys (control
-/// lines accept only "cmd" and "id").
+/// Control-line detection. Returns the command ("ping", "drain",
+/// "shutdown", "export_warm", "import_warm" or "reshard") when `line` is
+/// a control object, std::nullopt when it is a plain job. Throws
+/// std::runtime_error on an unknown command or stray keys (control lines
+/// accept "cmd" and "id", plus "warm" on import_warm and "shards" on
+/// reshard). Which layer answers which command is the serving layer's
+/// business: saim_serve handles everything but reshard, the saim_shard
+/// front door handles reshard/shutdown itself and forwards nothing.
 std::optional<std::string> control_cmd(const util::JsonValue& line);
 
 /// Stable key naming the job's instance source before any instance is

@@ -24,18 +24,11 @@ void set_cloexec(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
-/// Writes to a child that died between our poll and our write must report
-/// EPIPE, not deliver SIGPIPE to the whole router.
-void ignore_sigpipe_once() {
-  static std::once_flag once;
-  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
-}
-
 }  // namespace
 
 ProcessChild::ProcessChild(std::vector<std::string> argv) {
   if (argv.empty()) throw std::runtime_error("ProcessChild: empty argv");
-  ignore_sigpipe_once();
+  net::ignore_sigpipe_once();
 
   int to_child[2];   // parent writes [1] -> child reads [0]
   int from_child[2]; // child writes [1] -> parent reads [0]
@@ -66,6 +59,16 @@ ProcessChild::ProcessChild(std::vector<std::string> argv) {
   }
 
   if (pid == 0) {  // child
+    // Leave the parent's process group: a terminal Ctrl-C signals the
+    // whole foreground group, and the front door must stay in charge of
+    // draining its shards instead of watching them die with it.
+    ::setpgid(0, 0);
+    // Inherited dispositions would leak through exec: SIG_IGN survives
+    // it, and this process ignores SIGPIPE (and a front door may ignore
+    // more). The shard deserves a default signal table.
+    ::signal(SIGPIPE, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
     ::dup2(to_child[0], STDIN_FILENO);
     ::dup2(from_child[1], STDOUT_FILENO);
     for (const int fd : {to_child[0], to_child[1], from_child[0],
@@ -109,48 +112,31 @@ void ProcessChild::send_line(const std::string& line) {
 
 bool ProcessChild::pump_writes() {
   if (write_broken_) return false;
-  while (!outbuf_.empty() && in_fd_ >= 0) {
-    const ssize_t n = ::write(in_fd_, outbuf_.data(), outbuf_.size());
-    if (n > 0) {
-      outbuf_.erase(0, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-    if (n < 0 && errno == EINTR) continue;
-    write_broken_ = true;  // EPIPE or a real error: the child is gone
-    outbuf_.clear();
-    return false;
+  if (in_fd_ < 0 || outbuf_.empty()) return true;
+  switch (net::write_some(in_fd_, outbuf_)) {
+    case net::WriteStatus::kOk:
+    case net::WriteStatus::kBlocked:
+      return true;
+    case net::WriteStatus::kBroken:
+      write_broken_ = true;  // EPIPE or a real error: the child is gone
+      outbuf_.clear();
+      return false;
   }
-  return true;
+  return false;  // unreachable
 }
 
 std::vector<std::string> ProcessChild::read_lines() {
-  std::vector<std::string> lines;
   if (out_fd_ >= 0 && !eof_) {
-    char buf[4096];
-    for (;;) {
-      const ssize_t n = ::read(out_fd_, buf, sizeof buf);
-      if (n > 0) {
-        inbuf_.append(buf, static_cast<std::size_t>(n));
-        continue;
-      }
-      if (n == 0) {
+    switch (net::read_available(out_fd_, framer_)) {
+      case net::ReadStatus::kOk:
+        break;
+      case net::ReadStatus::kEof:
+      case net::ReadStatus::kError:
         eof_ = true;
         break;
-      }
-      if (errno == EINTR) continue;
-      break;  // EAGAIN: drained for now
     }
   }
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t nl = inbuf_.find('\n', start);
-    if (nl == std::string::npos) break;
-    lines.push_back(inbuf_.substr(start, nl - start));
-    start = nl + 1;
-  }
-  inbuf_.erase(0, start);
-  return lines;
+  return framer_.take_lines();
 }
 
 void ProcessChild::close_stdin() {

@@ -108,6 +108,17 @@ std::vector<ising::Bits> ResultCache::warm_samples(std::uint64_t problem_fp) {
   return out;
 }
 
+std::vector<ResultCache::WarmSnapshot> ResultCache::export_warm() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WarmSnapshot> out;
+  out.reserve(warm_lru_.size());
+  for (const auto& entry : warm_lru_) {
+    if (entry.samples.empty()) continue;
+    out.push_back(WarmSnapshot{entry.key, entry.samples});
+  }
+  return out;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

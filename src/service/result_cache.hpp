@@ -83,6 +83,18 @@ class ResultCache {
   [[nodiscard]] std::vector<ising::Bits> warm_samples(
       std::uint64_t problem_fp);
 
+  /// One problem's pooled samples, for cross-process warm handoff.
+  struct WarmSnapshot {
+    std::uint64_t problem_fp = 0;
+    /// (cost, config), best cost first — put_warm's retention order.
+    std::vector<std::pair<double, ising::Bits>> samples;
+  };
+
+  /// Snapshot of the whole warm pool, most recently used problem first.
+  /// Recency is NOT bumped (an export is bookkeeping, not demand);
+  /// re-import on another process is plain put_warm per sample.
+  [[nodiscard]] std::vector<WarmSnapshot> export_warm() const;
+
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

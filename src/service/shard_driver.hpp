@@ -1,15 +1,25 @@
 // One pump cycle over a shard fleet: the small amount of glue between
-// ShardRouter (pure routing state) and ProcessChild (pipes) that
-// tools/saim_shard, bench/service_throughput and the failover tests all
-// share — so the code the tests kill children under is the code the tool
-// ships.
+// ShardRouter (pure routing state) and the transports (net::ShardEndpoint
+// — fork/exec pipes or TCP sockets) that bench/service_throughput and the
+// failover/transport tests share with the Supervisor — so the code the
+// tests kill children under is the code the tools ship.
 //
-// A cycle: flush each live shard's sendable window into its child, poll
-// the children's stdout fds (up to `poll_ms`), route every complete line
-// back through the router, and — only once a child's stdout hits EOF, so
+// A cycle: flush each live shard's sendable window into its endpoint,
+// poll the endpoints' read fds (up to `poll_ms`), route every complete
+// line back through the router, and — only once an endpoint hits EOF, so
 // results it managed to flush before dying are never discarded — declare
 // it down and let the router requeue its unanswered jobs. Returns every
 // line to emit downstream, in order.
+//
+// This pump never resurrects anything: a dead shard stays dead (PR 4
+// semantics). The self-healing layer — respawn with backoff, ring
+// rejoin, live resharding, warm handoff — is service/Supervisor, whose
+// pump() implements its own copy of this send/poll/read/eof cycle
+// (interleaved with slot lifecycle management it needs at each step).
+// When you fix a framing/ordering bug in one cycle, check the other;
+// the router-level invariants both rely on are pinned transport-
+// agnostically by tests/shard_router_test.cpp (this pump) AND
+// tests/supervisor_test.cpp (the Supervisor's).
 #pragma once
 
 #include <poll.h>
@@ -18,46 +28,47 @@
 #include <string>
 #include <vector>
 
-#include "service/process_child.hpp"
+#include "net/shard_endpoint.hpp"
 #include "service/shard_router.hpp"
 
 namespace saim::service {
 
 inline std::vector<std::string> pump_shards(
-    ShardRouter& router, std::vector<std::unique_ptr<ProcessChild>>& children,
-    int poll_ms) {
+    ShardRouter& router,
+    std::vector<std::unique_ptr<net::ShardEndpoint>>& shards, int poll_ms) {
   std::vector<std::string> out;
 
   // Send: fill each live shard's in-flight window, then flush.
-  for (std::size_t s = 0; s < children.size(); ++s) {
-    if (!children[s] || !router.alive(s)) continue;
-    for (auto& line : router.take_sendable(s)) children[s]->send_line(line);
-    children[s]->pump_writes();  // a broken pipe resolves at EOF below
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (!shards[s] || !router.alive(s)) continue;
+    for (auto& line : router.take_sendable(s)) shards[s]->send_line(line);
+    shards[s]->pump_writes();  // a broken transport resolves at EOF below
   }
 
-  // Wait until some child has output (or poll_ms passes).
+  // Wait until some shard has output (or poll_ms passes).
   std::vector<pollfd> fds;
-  fds.reserve(children.size());
-  for (std::size_t s = 0; s < children.size(); ++s) {
-    if (children[s] && router.alive(s) && !children[s]->eof()) {
-      fds.push_back(pollfd{children[s]->read_fd(), POLLIN, 0});
+  fds.reserve(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s] && router.alive(s) && !shards[s]->eof() &&
+        shards[s]->read_fd() >= 0) {
+      fds.push_back(pollfd{shards[s]->read_fd(), POLLIN, 0});
     }
   }
   if (!fds.empty() && poll_ms >= 0) {
     ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_ms);
   }
 
-  // Drain every live child (reads are non-blocking; polling only spared
+  // Drain every live shard (reads are non-blocking; polling only spared
   // us a busy loop), then handle deaths after their output is exhausted.
-  for (std::size_t s = 0; s < children.size(); ++s) {
-    if (!children[s] || !router.alive(s)) continue;
-    for (const auto& line : children[s]->read_lines()) {
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (!shards[s] || !router.alive(s)) continue;
+    for (const auto& line : shards[s]->read_lines()) {
       auto emitted = router.on_child_line(s, line);
       out.insert(out.end(), std::make_move_iterator(emitted.begin()),
                  std::make_move_iterator(emitted.end()));
     }
-    if (children[s]->eof()) {
-      (void)children[s]->running();  // reap if already exited
+    if (shards[s]->eof()) {
+      shards[s]->reap();  // collect the zombie if already exited
       auto emitted = router.on_child_down(s);
       out.insert(out.end(), std::make_move_iterator(emitted.begin()),
                  std::make_move_iterator(emitted.end()));

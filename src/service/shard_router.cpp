@@ -99,6 +99,7 @@ ShardRouter::ShardRouter(RouterOptions options)
   pending_.resize(options_.shards);
   inflight_.resize(options_.shards);
   pong_.assign(options_.shards, false);
+  warm_export_.resize(options_.shards);
   stats_.routed_per_shard.assign(options_.shards, 0);
   for (std::size_t s = 0; s < options_.shards; ++s) ring_.add(s);
 }
@@ -121,14 +122,22 @@ std::vector<std::string> ShardRouter::accept_line(const std::string& line,
         out.push_back(pong.str());
         return out;
       }
-      // drain: certifies every job accepted BEFORE this line.
-      Drain drain{next_ordinal_, jobs_.size(), display_id};
-      if (drain.remaining == 0) {
-        out.push_back(drained_line(drain));
-      } else {
-        drains_.push_back(std::move(drain));
+      if (*cmd == "drain") {
+        // drain: certifies every job accepted BEFORE this line.
+        Drain drain{next_ordinal_, jobs_.size(), display_id};
+        if (drain.remaining == 0) {
+          out.push_back(drained_line(drain));
+        } else {
+          drains_.push_back(std::move(drain));
+        }
+        return out;
       }
-      return out;
+      // shutdown/reshard/export_warm/import_warm are fleet-management
+      // commands the front door answers before lines reach the router;
+      // one arriving here means no supervisor is in charge of them.
+      throw std::runtime_error("control cmd \"" + *cmd +
+                               "\" is handled by the fleet supervisor, "
+                               "not the router");
     }
 
     // Routing key: the canonical problem fingerprint. The first line for
@@ -215,6 +224,16 @@ std::vector<std::string> ShardRouter::on_child_line(std::size_t shard,
     return out;
   }
   if (parsed.find("drained")) return out;  // child drain ack: internal
+  if (const auto* warm = parsed.find("warm")) {
+    // Reply to a Supervisor export_warm probe: stash the snapshot for
+    // the warm handoff; never forwarded downstream.
+    if (shard < warm_export_.size()) {
+      warm_export_[shard] = util::to_json(*warm);
+    }
+    return out;
+  }
+  // import_warm acks and shutdown farewells are fleet-internal too.
+  if (parsed.find("imported") || parsed.find("bye")) return out;
 
   const auto* id = parsed.find("id");
   if (!id) return out;
@@ -290,11 +309,57 @@ std::vector<std::string> ShardRouter::on_child_down(std::size_t shard) {
   return out;
 }
 
+void ShardRouter::revive_shard(std::size_t shard) {
+  if (shard >= alive_.size() || alive_[shard]) return;
+  alive_[shard] = true;
+  pong_[shard] = false;
+  warm_export_[shard].reset();
+  ring_.add(shard);
+}
+
+std::size_t ShardRouter::add_shard() {
+  const std::size_t shard = alive_.size();
+  alive_.push_back(true);
+  pending_.emplace_back();
+  inflight_.emplace_back();
+  pong_.push_back(false);
+  warm_export_.emplace_back();
+  stats_.routed_per_shard.push_back(0);
+  ring_.add(shard);
+  return shard;
+}
+
+void ShardRouter::requeue_inflight(std::size_t shard) {
+  if (shard >= inflight_.size() || inflight_[shard].empty()) return;
+  std::vector<std::string> tokens(inflight_[shard].begin(),
+                                  inflight_[shard].end());
+  inflight_[shard].clear();
+  std::sort(tokens.begin(), tokens.end(), [&](const auto& a, const auto& b) {
+    return jobs_.at(a).ordinal < jobs_.at(b).ordinal;
+  });
+  // Replayed jobs precede anything not yet sent: the pending queue keeps
+  // the original accept order.
+  for (auto it = tokens.rbegin(); it != tokens.rend(); ++it) {
+    auto job = jobs_.find(*it);
+    if (job == jobs_.end()) continue;
+    job->second.inflight = false;
+    ++stats_.requeued;
+    pending_[shard].push_front(std::move(*it));
+  }
+}
+
 bool ShardRouter::take_pong(std::size_t shard) {
   if (shard >= pong_.size()) return false;
   const bool seen = pong_[shard];
   pong_[shard] = false;
   return seen;
+}
+
+std::optional<std::string> ShardRouter::take_warm_export(std::size_t shard) {
+  if (shard >= warm_export_.size()) return std::nullopt;
+  std::optional<std::string> out;
+  warm_export_[shard].swap(out);
+  return out;
 }
 
 bool ShardRouter::alive(std::size_t shard) const {

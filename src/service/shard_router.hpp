@@ -118,13 +118,46 @@ class ShardRouter {
   /// The shard died: drop it from the ring and requeue its unanswered
   /// jobs onto the next live shards. Returns error lines for jobs that
   /// could not be placed (no shards left), plus unblocked drain acks.
+  /// Also the graceful-removal path (live resharding): the departing
+  /// shard's process may still answer requeued tokens late — the first
+  /// result per token wins, the other copy is dropped, so every job
+  /// still emits exactly once.
   std::vector<std::string> on_child_down(std::size_t shard);
+
+  /// Re-adds a dead shard slot to the ring (the Supervisor respawned its
+  /// process). Its vnode points are a pure function of the slot index,
+  /// so exactly the keyslice it owned before the crash moves back — and
+  /// with it any warm-pool entries the Supervisor forwards.
+  void revive_shard(std::size_t shard);
+
+  /// Appends a brand-new shard slot (live resharding grow); returns its
+  /// index. The new shard starts live and on the ring.
+  std::size_t add_shard();
+
+  /// Moves `shard`'s written-but-unanswered jobs back to the head of its
+  /// pending queue (original accept order): the sole-shard respawn path,
+  /// where failing over is impossible and orphaning needless — ring
+  /// membership stays intact and the jobs replay into the replacement
+  /// process.
+  void requeue_inflight(std::size_t shard);
 
   /// True when a pong arrived from `shard` since the last call (clears).
   bool take_pong(std::size_t shard);
 
+  /// The latest {"warm":{...}} snapshot `shard` sent in reply to an
+  /// export_warm probe, serialized; consumed by the Supervisor's warm
+  /// handoff. Clears on read.
+  std::optional<std::string> take_warm_export(std::size_t shard);
+
   [[nodiscard]] bool alive(std::size_t shard) const;
   [[nodiscard]] std::size_t live_shards() const { return ring_.shard_count(); }
+  /// Total slots ever created (live + dead); endpoints index this range.
+  [[nodiscard]] std::size_t shard_slots() const { return alive_.size(); }
+  /// The live shard owning problem fingerprint `fp` right now (warm
+  /// handoff targeting). Throws std::runtime_error on an empty ring.
+  [[nodiscard]] std::size_t owner_of(std::uint64_t fp) const {
+    return ring_.route(fp);
+  }
   /// Jobs accepted but not yet answered (any shard, any state).
   [[nodiscard]] std::size_t outstanding() const { return jobs_.size(); }
   [[nodiscard]] std::size_t pending(std::size_t shard) const;
@@ -160,6 +193,7 @@ class ShardRouter {
   std::vector<std::deque<std::string>> pending_;  ///< tokens, FIFO
   std::vector<std::unordered_set<std::string>> inflight_;
   std::vector<bool> pong_;
+  std::vector<std::optional<std::string>> warm_export_;  ///< per shard
   std::unordered_map<std::string, Job> jobs_;  ///< token -> outstanding job
   /// Problem fingerprint per instance-source key: a duplicated-instance
   /// stream builds (and hashes) the instance once, not once per line.

@@ -212,6 +212,23 @@ class SolveService {
   [[nodiscard]] static std::uint64_t request_fingerprint(
       const SolveRequest& request);
 
+  /// Snapshot of the warm-start pool (per-problem best feasible configs)
+  /// for cross-process handoff: the {"cmd":"export_warm"} control line.
+  /// Problem fingerprints are stable across processes, so another
+  /// service can import_warm_sample() these verbatim.
+  [[nodiscard]] std::vector<ResultCache::WarmSnapshot> export_warm_pool()
+      const {
+    return cache_.export_warm();
+  }
+
+  /// Offers one exported configuration to this service's pool (the
+  /// {"cmd":"import_warm"} control line). Samples are re-judged at use —
+  /// an import can only seed, never corrupt, a warm job.
+  void import_warm_sample(std::uint64_t problem_fp, const ising::Bits& bits,
+                          double cost) {
+    cache_.put_warm(problem_fp, bits, cost);
+  }
+
  private:
   void worker_loop();
   void execute(const std::shared_ptr<detail::JobState>& job);

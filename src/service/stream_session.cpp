@@ -1,0 +1,395 @@
+#include "service/stream_session.hpp"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "core/report.hpp"
+#include "service/job_parser.hpp"
+
+namespace saim::service {
+
+// ------------------------------------------------------------ IO adapters
+
+bool IostreamSessionIO::read_line(std::string& line) {
+  return static_cast<bool>(std::getline(in_, line));
+}
+
+void IostreamSessionIO::write_line(const std::string& line) {
+  out_ << line << "\n";
+}
+
+void IostreamSessionIO::flush() { out_.flush(); }
+
+FdSessionIO::~FdSessionIO() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+bool FdSessionIO::read_line(std::string& line) {
+  for (;;) {
+    if (!lines_.empty()) {
+      line = std::move(lines_.front());
+      lines_.pop_front();
+      return true;
+    }
+    if (eof_ || fd_ < 0) return false;
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      framer_.feed(buf, static_cast<std::size_t>(n));
+      for (auto& l : framer_.take_lines()) lines_.push_back(std::move(l));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    eof_ = true;  // orderly close, reset, or a hard error: input is over
+  }
+}
+
+void FdSessionIO::write_line(const std::string& line) {
+  if (broken_ || fd_ < 0) return;
+  std::string buffer = line;
+  buffer += '\n';
+  for (;;) {
+    switch (net::write_some(fd_, buffer)) {
+      case net::WriteStatus::kOk:
+        return;
+      case net::WriteStatus::kBlocked:
+        continue;  // cannot happen on a blocking fd; spin-safe anyway
+      case net::WriteStatus::kBroken:
+        broken_ = true;  // peer gone; the read side will surface EOF
+        return;
+    }
+  }
+}
+
+// ----------------------------------------------------------- warm payload
+
+std::string warm_pool_to_json(
+    const std::vector<ResultCache::WarmSnapshot>& pool) {
+  std::string json = "{";
+  bool first_problem = true;
+  for (const auto& entry : pool) {
+    char fp_hex[17];
+    std::snprintf(fp_hex, sizeof fp_hex, "%016" PRIx64, entry.problem_fp);
+    if (!first_problem) json += ",";
+    first_problem = false;
+    json += "\"";
+    json += fp_hex;
+    json += "\":[";
+    bool first_sample = true;
+    for (const auto& [cost, bits] : entry.samples) {
+      std::string bit_string(bits.size(), '0');
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i]) bit_string[i] = '1';
+      }
+      util::JsonWriter sample;
+      sample.field("cost", cost).field("bits", bit_string);
+      if (!first_sample) json += ",";
+      first_sample = false;
+      json += sample.str();
+    }
+    json += "]";
+  }
+  json += "}";
+  return json;
+}
+
+std::optional<std::uint64_t> parse_fp_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+std::size_t import_warm_json(SolveService& service,
+                             const util::JsonValue& warm) {
+  if (!warm.is_object()) {
+    throw std::runtime_error("\"warm\" must be an object");
+  }
+  std::size_t imported = 0;
+  for (const auto& [fp_hex, samples] : warm.object()) {
+    const auto fp = parse_fp_hex(fp_hex);
+    if (!fp) {
+      throw std::runtime_error("bad warm fingerprint \"" + fp_hex + "\"");
+    }
+    if (!samples.is_array()) {
+      throw std::runtime_error("warm entry \"" + fp_hex +
+                               "\" must be an array");
+    }
+    for (const auto& sample : samples.array()) {
+      const auto* cost = sample.find("cost");
+      const auto* bits = sample.find("bits");
+      if (!cost || !cost->is_number() || !bits || !bits->is_string()) {
+        throw std::runtime_error("warm sample needs \"cost\" and \"bits\"");
+      }
+      const std::string& bit_string = bits->as_string();
+      ising::Bits config(bit_string.size(), 0);
+      for (std::size_t i = 0; i < bit_string.size(); ++i) {
+        if (bit_string[i] == '1') {
+          config[i] = 1;
+        } else if (bit_string[i] != '0') {
+          throw std::runtime_error("warm \"bits\" must be 0/1 characters");
+        }
+      }
+      service.import_warm_sample(*fp, config, cost->as_double());
+      ++imported;
+    }
+  }
+  return imported;
+}
+
+// -------------------------------------------------------------- session
+
+namespace {
+
+struct PendingJob {
+  std::string id;
+  std::string instance;
+  std::string backend;
+  JobHandle handle;
+  std::string error;   ///< submission-time failure; handle invalid
+  bool drain = false;  ///< {"cmd":"drain"} barrier, not a job
+  bool bye = false;    ///< {"cmd":"shutdown"} farewell barrier
+  bool export_warm = false;  ///< {"cmd":"export_warm"} snapshot barrier
+  bool emitted = false;  ///< result line already printed (--stream)
+
+  [[nodiscard]] bool barrier() const { return drain || bye || export_warm; }
+};
+
+}  // namespace
+
+SessionResult run_stream_session(SolveService& service, SessionIO& io,
+                                 const SessionOptions& options) {
+  SessionResult session_result;
+  const bool stream = options.stream;
+
+  std::int64_t next_seq = 0;
+  // Renders (and marks emitted) the result/error line for a FINISHED job.
+  // In stream mode, lines for ACCEPTED jobs carry the emission sequence
+  // number; lines rejected at submission never consume one (the global
+  // completion order counts real jobs only). In batch mode results print
+  // after EOF in input order, without seq.
+  const auto render = [&](PendingJob& job) -> std::string {
+    job.emitted = true;
+    if (!job.handle.valid()) {
+      session_result.any_error = true;
+      util::JsonWriter err;
+      err.field("id", job.id).field("error", job.error);
+      return err.str();
+    }
+    const std::int64_t seq = stream ? next_seq++ : -1;
+    const auto response = job.handle.wait();  // finished: returns at once
+    if (response->status == core::Status::kError) {
+      session_result.any_error = true;
+      util::JsonWriter err;
+      err.field("id", job.id).field("error", response->error);
+      if (seq >= 0) err.field("seq", seq);
+      return err.str();
+    }
+    core::JsonlContext context;
+    context.id = job.id;
+    context.instance = job.instance;
+    context.backend = job.backend;
+    context.wall_ms = response->wall_ms;
+    context.cache_hit = response->cache_hit;
+    context.fingerprint = response->fingerprint;
+    context.batch_size = response->batch_size;
+    context.warm_started = response->warm_started;
+    context.seq = seq;
+    return core::result_to_jsonl(*response->result, context);
+  };
+  // A barrier's acknowledgement line (no seq: control lines never consume
+  // completion-order numbers). drain says "drained", shutdown says "bye",
+  // export_warm snapshots the pool — at barrier time, so every feasible
+  // job accepted before it has already deposited its samples.
+  const auto render_barrier = [&service](PendingJob& job) -> std::string {
+    job.emitted = true;
+    util::JsonWriter ack;
+    ack.field("id", job.id);
+    if (job.bye) {
+      ack.field("bye", true);
+    } else if (job.export_warm) {
+      ack.raw_field("warm", warm_pool_to_json(service.export_warm_pool()));
+    } else {
+      ack.field("drained", true);
+    }
+    return ack.str();
+  };
+
+  std::vector<PendingJob> jobs;
+  std::vector<std::size_t> unemitted;  ///< indices into `jobs`, in order
+  std::mutex jobs_mutex;  ///< stream mode: guards jobs/unemitted/render
+  bool input_done = false;  ///< guarded by jobs_mutex
+  std::mutex out_mutex;  ///< serializes the sink between emitter and pongs
+
+  // Stream mode emits from a dedicated thread so completions surface the
+  // moment they happen — even while the main thread is blocked in
+  // read_line waiting for a slow producer (a request-response coprocess
+  // can keep the pipe open and still read results). Each pass sweeps only
+  // the still-unemitted indices with non-blocking try_get, renders under
+  // the lock but WRITES outside it (a slow result consumer never stalls
+  // submission), and exits once input is done and everything is emitted.
+  // The exit check reads input_done inside the same critical section as
+  // the sweep, so a final job pushed before input_done was set can never
+  // be skipped. A drain/shutdown barrier emits only once every entry
+  // before it has — jobs after it may still overtake it, matching the
+  // contract that "drained" certifies the PAST, not the future.
+  std::thread emitter;
+  if (stream) {
+    emitter = std::thread([&] {
+      while (true) {
+        std::vector<std::string> lines;
+        bool done;
+        bool all_emitted;
+        {
+          std::lock_guard<std::mutex> lock(jobs_mutex);
+          bool blocked = false;  // an earlier entry is still unfinished
+          std::erase_if(unemitted, [&](std::size_t i) {
+            PendingJob& job = jobs[i];
+            if (job.barrier()) {
+              if (blocked) return false;
+              lines.push_back(render_barrier(job));
+              return true;
+            }
+            if (job.handle.valid() && !job.handle.try_get()) {
+              blocked = true;
+              return false;
+            }
+            lines.push_back(render(job));
+            return true;
+          });
+          all_emitted = unemitted.empty();
+          done = input_done;
+        }
+        if (!lines.empty()) {
+          std::lock_guard<std::mutex> lock(out_mutex);
+          for (const auto& l : lines) io.write_line(l);
+          io.flush();  // a coprocess is waiting on these completions
+        }
+        if (done && all_emitted) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (io.read_line(line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    PendingJob pending;
+    pending.id = "job" + std::to_string(line_no);
+    bool stop_reading = false;
+    try {
+      const util::JsonValue parsed = util::parse_json(line);
+      // Use the line's own id everywhere — result lines, error lines,
+      // control acknowledgements — falling back to the line number.
+      if (const auto* id = parsed.find("id")) {
+        if (!id->as_string().empty()) pending.id = id->as_string();
+      }
+      if (const auto cmd = control_cmd(parsed)) {
+        if (*cmd == "ping") {
+          // Liveness probe: answered immediately, even in batch mode and
+          // even while every worker is busy (submission never blocks).
+          // "inflight" counts THIS session's accepted-but-unemitted jobs
+          // — rejected lines and barriers are not load.
+          std::size_t inflight = 0;
+          {
+            std::lock_guard<std::mutex> lock(jobs_mutex);
+            for (const std::size_t i : unemitted) {
+              if (jobs[i].handle.valid()) ++inflight;
+            }
+          }
+          util::JsonWriter pong;
+          pong.field("id", pending.id)
+              .field("pong", true)
+              .field("inflight", static_cast<std::uint64_t>(inflight));
+          std::lock_guard<std::mutex> lock(out_mutex);
+          io.write_line(pong.str());
+          io.flush();  // a probe's whole point is promptness
+          continue;
+        }
+        if (*cmd == "import_warm") {
+          const auto* warm = parsed.find("warm");
+          if (!warm) throw std::runtime_error("import_warm needs \"warm\"");
+          const std::size_t imported = import_warm_json(service, *warm);
+          util::JsonWriter reply;
+          reply.field("id", pending.id)
+              .field("imported", static_cast<std::uint64_t>(imported));
+          std::lock_guard<std::mutex> lock(out_mutex);
+          io.write_line(reply.str());
+          io.flush();
+          continue;
+        }
+        if (*cmd == "reshard") {
+          throw std::runtime_error(
+              "control cmd \"reshard\" is only handled by the saim_shard "
+              "front door");
+        }
+        if (*cmd == "shutdown") {
+          // Farewell barrier: intake stops NOW; everything accepted
+          // before it drains, then {"bye":true} ends the session.
+          pending.bye = true;
+          stop_reading = true;
+          session_result.shutdown = true;
+        } else if (*cmd == "export_warm") {
+          // Snapshot barrier: replied once every job accepted before it
+          // has emitted — their feasible samples are then in the pool,
+          // so a handoff export never under-reports in-flight work.
+          pending.export_warm = true;
+        } else {
+          pending.drain = true;  // barrier; acknowledged by the emitter
+        }
+      } else {
+        ParsedJob job = parse_job(parsed, options.warm_default);
+        job.request.tag = pending.id;
+        pending.instance = job.instance;
+        pending.backend = job.request.backend.name;
+        pending.handle = service.submit(std::move(job.request));
+      }
+    } catch (const std::exception& e) {
+      pending.error = e.what();
+    }
+    {
+      // Uncontended in batch mode (the emitter thread only exists with
+      // --stream), so one always-locked push keeps the paths identical.
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      jobs.push_back(std::move(pending));
+      unemitted.push_back(jobs.size() - 1);
+    }
+    if (stop_reading) break;
+  }
+
+  if (stream) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      input_done = true;
+    }
+    emitter.join();  // drains every remaining completion, then exits
+  } else {
+    for (auto& job : jobs) {
+      io.write_line(job.barrier() ? render_barrier(job) : render(job));
+    }
+    io.flush();  // batch mode: one flush for the whole run
+  }
+  return session_result;
+}
+
+}  // namespace saim::service

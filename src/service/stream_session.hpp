@@ -1,0 +1,130 @@
+// StreamSession — one JSONL serving conversation over any line IO.
+//
+// PR 4's saim_serve had the whole wire protocol (docs/PROTOCOL.md) woven
+// into its main(): read job lines, submit to the SolveService, emit
+// result lines (input order after EOF, or completion order with "seq"
+// under --stream), answer control lines. run_stream_session() is that
+// loop extracted behind a SessionIO seam, so the identical protocol —
+// byte for byte — now serves
+//
+//   * stdin/stdout            (IostreamSessionIO; saim_serve's default),
+//   * one accepted TCP socket (FdSessionIO; saim_serve --listen spawns a
+//     session thread per connection, all sharing ONE SolveService, so
+//     concurrent connections share the cache, batcher and warm pool).
+//
+// Per-session state: job table, seq counter (stream mode numbers each
+// CONNECTION's accepted jobs 0..n-1), drain barriers. Shared state: the
+// SolveService. The emitter thread (stream mode) writes results the
+// moment they complete, even while the reader blocks on a slow producer.
+//
+// Control lines handled here: ping, drain, shutdown (stop intake, drain
+// everything accepted, emit {"bye":true}, end the session), export_warm
+// (warm-pool snapshot as {"warm":{...}}), import_warm (deposit exported
+// samples). reshard is the sharding front door's command and is answered
+// with an error line.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "service/solve_service.hpp"
+#include "util/jsonl.hpp"
+
+namespace saim::service {
+
+struct SessionOptions {
+  /// Emit results as jobs finish (tagged with "seq") instead of in input
+  /// order after EOF.
+  bool stream = false;
+  /// --warm-start: per-job "warm_start" default.
+  bool warm_default = false;
+};
+
+struct SessionResult {
+  bool any_error = false;  ///< some line produced an error line
+  bool shutdown = false;   ///< {"cmd":"shutdown"} ended the session
+};
+
+/// The line transport a session speaks through. read_line blocks; the
+/// session serializes write_line calls itself (implementations need no
+/// locking against the session, only against other sessions if they
+/// share a sink).
+class SessionIO {
+ public:
+  virtual ~SessionIO() = default;
+  /// Blocks for the next input line; false on EOF / peer close.
+  virtual bool read_line(std::string& line) = 0;
+  /// Writes `line` plus a newline; may buffer until flush().
+  virtual void write_line(const std::string& line) = 0;
+  /// Pushes buffered output to the peer. The session flushes after
+  /// every burst of result lines in stream mode (a coprocess is
+  /// waiting) but only once at the end in batch mode — a big file run
+  /// must not pay one flush per line.
+  virtual void flush() {}
+};
+
+/// std::istream/std::ostream adapter (stdin/stdout or files).
+class IostreamSessionIO : public SessionIO {
+ public:
+  IostreamSessionIO(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+  bool read_line(std::string& line) override;
+  void write_line(const std::string& line) override;
+  void flush() override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+/// Blocking-fd adapter (an accepted socket). Owns the fd by default;
+/// pass owns_fd=false when the caller keeps the fd alive past the
+/// session (e.g. a server that must shutdown() parked sessions' fds —
+/// safe only while the fd cannot be closed and reused underneath it).
+class FdSessionIO : public SessionIO {
+ public:
+  explicit FdSessionIO(int fd, bool owns_fd = true)
+      : fd_(fd), owns_fd_(owns_fd) {}
+  ~FdSessionIO() override;
+  bool read_line(std::string& line) override;
+  void write_line(const std::string& line) override;
+
+ private:
+  int fd_ = -1;
+  bool owns_fd_ = true;
+  net::LineFramer framer_;
+  std::deque<std::string> lines_;
+  bool eof_ = false;
+  bool broken_ = false;  ///< write side failed; drop further output
+};
+
+/// Serves one complete conversation: reads until EOF or shutdown,
+/// answers every line per docs/PROTOCOL.md, returns once everything
+/// accepted has been emitted.
+SessionResult run_stream_session(SolveService& service, SessionIO& io,
+                                 const SessionOptions& options);
+
+// --------------------------------------------------------- warm payloads
+// The {"warm":{...}} wire object: problem fingerprints (16 hex digits,
+// the same rendering as result-line fingerprints) mapping to arrays of
+// {"cost":C,"bits":"0101..."} samples, best cost first.
+
+/// Serializes a pool snapshot as the warm payload object.
+std::string warm_pool_to_json(
+    const std::vector<ResultCache::WarmSnapshot>& pool);
+
+/// Offers every sample in a parsed warm payload to `service`'s pool.
+/// Returns the number of samples offered; throws std::runtime_error on a
+/// malformed payload.
+std::size_t import_warm_json(SolveService& service,
+                             const util::JsonValue& warm);
+
+/// "9c0f4a6e12b35d88" -> the fingerprint; std::nullopt when not 1-16
+/// lowercase hex digits.
+std::optional<std::uint64_t> parse_fp_hex(const std::string& hex);
+
+}  // namespace saim::service

@@ -1,0 +1,172 @@
+// Supervisor — the self-healing layer over the shard fleet.
+//
+// PR 4's front door was fail-static: a crashed shard was dropped from
+// the ring forever and --shards was fixed at spawn. The Supervisor owns
+// the fleet's endpoints (local fork/exec children and remote TCP shards
+// behind one net::ShardEndpoint interface) and adds the management
+// behaviors on top of the same ShardRouter/pump cycle:
+//
+//   * respawn — a crashed LOCAL child is re-exec'd with exponential
+//     backoff and re-added to the ring (revive_shard: consistent hashing
+//     moves exactly its old keyslice back). While survivors exist its
+//     unanswered jobs fail over to them first (PR 4 path); when it was
+//     the ONLY shard they are held on its pending queue instead of
+//     orphaning, and replay into the replacement. A child that stays up
+//     `stable_ms` earns its restart budget back; one that crash-loops
+//     `max_restarts` times is declared down for good. Remote shards are
+//     not respawned (this process cannot re-exec a other machine's
+//     server); their jobs fail over and stay failed over.
+//
+//   * live resharding — reshard(n) grows or shrinks the LOCAL fleet to n
+//     while jobs are in flight. Grow spawns children into recycled dead
+//     slots first, then brand-new slots. Shrink retires the
+//     highest-indexed local shards: each is asked to export_warm, has
+//     its unanswered jobs requeued onto the survivors via the PR 4
+//     failover path (exactly-once: a late result from the retiree and
+//     the rerun's result dedupe by routing token, first one wins), and
+//     is then sent {"cmd":"shutdown"} — its tail output is pumped until
+//     the farewell EOF so nothing it already computed is discarded.
+//
+//   * warm handoff — whenever ring membership changes (respawn rejoin,
+//     grow, shrink), every live shard is probed with export_warm; each
+//     returned pool entry whose problem fingerprint now routes to a
+//     DIFFERENT shard is forwarded there as import_warm, so requeued and
+//     future jobs on the new owner start from the best configurations
+//     the old owner had already found.
+//
+//   * health — the ping/5-missed-pongs watchdog from PR 4's tool loop
+//     lives here now; an unresponsive shard is terminated and flows into
+//     the same death/respawn path.
+//
+// Single-threaded like the router: the owning loop calls pump()
+// repeatedly; every management action advances inside pump.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/shard_endpoint.hpp"
+#include "service/shard_router.hpp"
+
+namespace saim::service {
+
+struct SupervisorOptions {
+  /// argv to exec one local shard (a `saim_serve --stream` invocation).
+  std::vector<std::string> local_argv;
+  /// Re-exec crashed local children. Off = PR 4 fail-static behavior.
+  bool respawn = true;
+  /// Consecutive crashes before a slot is abandoned (counter resets
+  /// after a child survives stable_ms).
+  int max_restarts = 5;
+  int backoff_initial_ms = 100;
+  int backoff_max_ms = 2000;
+  int stable_ms = 5000;
+  /// Health-probe interval; a shard missing 5 pongs in a row is
+  /// terminated (0 disables probing).
+  int ping_ms = 1000;
+  /// A shard retired by a shrink gets this long to drain its tail and
+  /// exit on its own before being terminated (a wedged retiree must not
+  /// haunt the fleet until final teardown).
+  int retire_grace_ms = 10000;
+};
+
+class Supervisor {
+ public:
+  struct Stats {
+    std::uint64_t respawns = 0;        ///< successful re-execs
+    std::uint64_t respawn_failures = 0;///< slots abandoned after max_restarts
+    std::uint64_t reshards = 0;        ///< reshard() membership changes
+    std::uint64_t retired = 0;         ///< shards removed by shrink
+    std::uint64_t warm_forwarded = 0;  ///< pool entries moved to a new owner
+    std::uint64_t unresponsive_kills = 0;
+  };
+
+  /// The router must outlive the supervisor. Slots are attached (or
+  /// grown) explicitly; router slot `s` pairs with endpoint slot `s`.
+  Supervisor(ShardRouter& router, SupervisorOptions options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns a local child into router slot `slot` (must be < the
+  /// router's shard_slots and not yet attached).
+  void attach_local(std::size_t slot);
+  /// Connects router slot `slot` to a remote `saim_serve --listen`.
+  /// Throws std::runtime_error when the connection fails.
+  void attach_remote(std::size_t slot, const std::string& host, int port);
+
+  /// One cycle: flush windows, poll, route lines, advance deaths /
+  /// respawns / retirements / warm handoffs / health probes. Returns
+  /// result lines to emit downstream, in order.
+  std::vector<std::string> pump(int poll_ms);
+
+  /// Live resharding: grow or shrink the LOCAL fleet so that
+  /// `target_locals` local shards serve the ring (remote shards are
+  /// never touched; target is clamped to >= 1 when no remotes exist).
+  /// Returns the number of local shards after the change is applied
+  /// (the membership change itself completes over subsequent pumps).
+  std::size_t reshard(std::size_t target_locals);
+
+  /// Graceful teardown: {"cmd":"shutdown"} + input EOF to every child,
+  /// pump until each exits (bounded), reap — no SIGKILL unless a child
+  /// overstays `grace_ms`. Lines harvested during teardown surface via
+  /// drain_deferred().
+  void shutdown_fleet(int grace_ms = 5000);
+
+  /// Output produced outside pump() (reshard requeues, teardown tails);
+  /// pump() also drains this, so only call it after the last pump.
+  [[nodiscard]] std::vector<std::string> drain_deferred() {
+    return std::exchange(deferred_out_, {});
+  }
+
+  /// Live local shards wanted (attached or respawning).
+  [[nodiscard]] std::size_t desired_locals() const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// The endpoint currently serving router slot `s` (nullptr when the
+  /// slot is dead/retired). Exposed for tests and the tool's 127 check.
+  [[nodiscard]] net::ShardEndpoint* endpoint(std::size_t s) const;
+  [[nodiscard]] bool is_local(std::size_t s) const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<net::ShardEndpoint> endpoint;
+    bool local = false;
+    bool attached = false;   ///< slot was ever given an endpoint
+    bool want = true;        ///< desired fleet member (false once retired)
+    bool retiring = false;   ///< removed from ring, draining tail output
+    bool respawn_pending = false;
+    int restarts = 0;
+    std::chrono::steady_clock::time_point respawn_at{};
+    std::chrono::steady_clock::time_point spawned_at{};
+    std::chrono::steady_clock::time_point retire_deadline{};
+    int missed_pongs = 0;
+    bool ping_outstanding = false;
+  };
+
+  void ensure_slot(std::size_t slot);
+  /// Handles one observed endpoint death; appends orphan lines to out.
+  void on_death(std::size_t slot, std::vector<std::string>* out);
+  /// Spawns the replacement for a due slot; true on success.
+  bool try_respawn(std::size_t slot, std::vector<std::string>* out);
+  /// Probes every live shard for its warm pool (handoff trigger).
+  void request_warm_rebalance();
+  /// Routes one shard's export to the entries' current owners.
+  void forward_warm(std::size_t donor, const std::string& warm_json);
+  void send_health_pings();
+
+  ShardRouter& router_;
+  SupervisorOptions options_;
+  std::vector<Slot> slots_;
+  std::vector<std::string> deferred_out_;
+  std::chrono::steady_clock::time_point last_ping_;
+  std::uint64_t probe_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace saim::service

@@ -392,8 +392,9 @@ const char* serve_bin() {
 #endif
 }
 
-std::vector<std::unique_ptr<ProcessChild>> spawn_fleet(std::size_t shards) {
-  std::vector<std::unique_ptr<ProcessChild>> children;
+std::vector<std::unique_ptr<net::ShardEndpoint>> spawn_fleet(
+    std::size_t shards) {
+  std::vector<std::unique_ptr<net::ShardEndpoint>> children;
   for (std::size_t s = 0; s < shards; ++s) {
     children.push_back(std::make_unique<ProcessChild>(
         std::vector<std::string>{serve_bin(), "--stream", "--workers", "1",
@@ -404,7 +405,8 @@ std::vector<std::unique_ptr<ProcessChild>> spawn_fleet(std::size_t shards) {
 
 /// Pumps until the router is idle or ~20s pass; returns emitted lines.
 std::vector<std::string> pump_to_idle(
-    ShardRouter& router, std::vector<std::unique_ptr<ProcessChild>>& children) {
+    ShardRouter& router,
+    std::vector<std::unique_ptr<net::ShardEndpoint>>& children) {
   std::vector<std::string> out;
   for (int spin = 0; spin < 10000 && !router.idle(); ++spin) {
     for (auto& l : pump_shards(router, children, 2)) out.push_back(std::move(l));
@@ -488,7 +490,7 @@ TEST(ShardFleet, SurvivesChildKilledMidStreamWithZeroLostJobs) {
           ? 0
           : 1;
   ASSERT_GT(router.inflight(victim) + router.pending(victim), 0u);
-  children[victim]->kill(SIGKILL);
+  children[victim]->terminate();  // SIGKILL via the endpoint interface
 
   for (auto& l : pump_to_idle(router, children)) out.push_back(std::move(l));
 

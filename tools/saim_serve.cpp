@@ -1,35 +1,34 @@
 // saim_serve — JSONL front-end to the asynchronous solve service.
 //
-// Reads one job per line from a file or stdin, runs every job through one
-// SolveService (priority queue, worker pool, content-keyed result cache,
-// duplicate coalescing, same-instance batching, warm-start pool), and
-// emits one JSON result line per job. The full wire protocol — every
-// request and response field, control lines, error lines, exit codes,
-// worked examples — is specified in docs/PROTOCOL.md; keep that file in
-// lockstep with this one (CI greps it for every emitted field name). The
-// job-line parser itself lives in service/job_parser.{hpp,cpp}, shared
-// with the sharding front door (tools/saim_shard).
+// Reads one job per line, runs every job through one SolveService
+// (priority queue, worker pool, content-keyed result cache, duplicate
+// coalescing, same-instance batching, warm-start pool), and emits one
+// JSON result line per job. The full wire protocol — every request and
+// response field, control lines, error lines, exit codes, worked
+// examples — is specified in docs/PROTOCOL.md; keep that file in
+// lockstep with this one (CI greps it for every emitted field name).
+// The protocol loop itself lives in service/stream_session.{hpp,cpp}
+// (shared between transports); the job-line parser in
+// service/job_parser.{hpp,cpp} (shared with tools/saim_shard).
 //
-// Two output modes:
-//   * default — the whole input is read and submitted up front (so the
-//     queue, priorities, the coalescer and the batcher see every in-flight
-//     job), then results print after EOF in input order. A coprocess must
-//     close its write end before reading results.
-//   * --stream — result lines are emitted as jobs finish, each tagged
-//     with a "seq" number in completion order; long-running tails no
-//     longer dam the output. Line order is NOT input order. Only jobs
-//     accepted into the service consume seq numbers: a line rejected at
-//     submission emits its error without one, so accepted jobs always
-//     see the contiguous range 0..accepted-1 (the sharding front door
-//     relies on this to remap per-shard seq to a global order).
+// Transports:
+//   * default — one session over --input/--output (stdin/stdout or
+//     files): the classic filter invocation.
+//   * --listen host:port — serve the same protocol over TCP: every
+//     accepted connection gets its own session thread, all sharing ONE
+//     SolveService (so concurrent connections share the cache, batcher
+//     and warm-start pool). Port 0 picks an ephemeral port; --port-file
+//     writes the bound port for race-free rendezvous. This is how a
+//     remote shard joins a `saim_shard --connect host:port` fleet —
+//     start it with --stream, which the sharding router requires.
 //
-// Control lines (answered by the front-end itself, never queued, never
-// numbered): {"cmd":"ping"} replies {"pong":true,"inflight":N} at once —
-// even mid-stream — and {"cmd":"drain"} replies {"drained":true} once
-// every job accepted before it has emitted its result.
+// Output modes (per session): default collects results until EOF and
+// prints them in input order; --stream emits each result the moment it
+// completes, tagged with a per-session "seq" in completion order.
 //
-// Job line schema: see docs/PROTOCOL.md (or service/job_parser.cpp's
-// kKnownKeys for the authoritative field list).
+// Control lines (docs/PROTOCOL.md): ping, drain, shutdown (drain +
+// {"bye":true}; also stops a --listen server), export_warm/import_warm
+// (warm-pool handoff between processes).
 //
 // Example:
 //   printf '%s\n' '{"id":"a","gen":"qkp:60-25-1","iterations":100}' \
@@ -39,37 +38,135 @@
 // rejected (malformed JSON, unknown backend, unreadable instance); bad
 // lines emit {"id":...,"error":...} and do not sink the rest of the
 // stream.
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "core/report.hpp"
-#include "service/job_parser.hpp"
+#include "net/connection.hpp"
+#include "net/listener.hpp"
 #include "service/solve_service.hpp"
+#include "service/stream_session.hpp"
 #include "util/cli.hpp"
-#include "util/jsonl.hpp"
 
 namespace {
 
 using namespace saim;
 
-struct PendingJob {
-  std::string id;
-  std::string instance;
-  std::string backend;
-  service::JobHandle handle;
-  std::string error;  ///< submission-time failure; handle invalid
-  bool drain = false;  ///< {"cmd":"drain"} barrier, not a job
-  bool emitted = false;  ///< result line already printed (--stream)
-};
+/// Accept loop for --listen: one session thread per connection, all over
+/// `svc`. Returns true once a session requested shutdown.
+int serve_listen(service::SolveService& svc,
+                 const service::SessionOptions& session_options,
+                 const std::string& listen_spec,
+                 const std::string& port_file) {
+  const auto hostport = net::parse_hostport(listen_spec);
+  if (!hostport) {
+    std::fprintf(stderr, "saim_serve: bad --listen '%s' (want host:port)\n",
+                 listen_spec.c_str());
+    return 2;
+  }
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(hostport->host,
+                                               hostport->port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "saim_serve: %s\n", e.what());
+    return 2;
+  }
+  if (!port_file.empty()) {
+    // The port file is the rendezvous for port 0 (ephemeral): written
+    // atomically enough for a single int — readers poll until nonempty.
+    std::ofstream pf(port_file);
+    if (!pf) {
+      std::fprintf(stderr, "saim_serve: cannot write '%s'\n",
+                   port_file.c_str());
+      return 2;
+    }
+    pf << listener->port() << "\n";
+  }
+  std::fprintf(stderr, "saim_serve: listening on %s:%d\n",
+               hostport->host.c_str(), listener->port());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> any_error{false};
+  // The server owns every client fd (sessions borrow them): fds stay
+  // valid until after their thread joins, so the shutdown() below can
+  // never race a close-and-reuse.
+  struct ClientSession {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  const auto reap_finished = [&sessions] {
+    std::erase_if(sessions, [](const std::unique_ptr<ClientSession>& s) {
+      if (!s->done.load()) return false;
+      s->thread.join();
+      ::close(s->fd);
+      return true;
+    });
+  };
+  while (!stop.load()) {
+    pollfd pfd{listener->fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 100);
+    reap_finished();  // a long-lived server must not hoard dead threads
+    const auto fd = listener->accept_fd();
+    if (!fd) continue;
+    auto session = std::make_unique<ClientSession>();
+    session->fd = *fd;
+    auto* raw = session.get();
+    session->thread = std::thread([&, raw] {
+      service::FdSessionIO io(raw->fd, /*owns_fd=*/false);
+      const auto result =
+          service::run_stream_session(svc, io, session_options);
+      if (result.any_error) any_error.store(true);
+      if (result.shutdown) stop.store(true);
+      raw->done.store(true);
+    });
+    sessions.push_back(std::move(session));
+  }
+  listener->close();
+  // Unblock sessions parked in read (an idle client must not veto the
+  // shutdown): half-close their READ side only — accepted jobs still
+  // drain out over the intact write side before each session exits.
+  for (auto& session : sessions) {
+    if (!session->done.load()) ::shutdown(session->fd, SHUT_RD);
+  }
+  // Healthy clients get a grace period to receive their tails; then a
+  // full shutdown unwedges any session blocked WRITING to a client
+  // that stopped reading (its remaining output is forfeit — that
+  // client was not consuming it anyway).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  const auto all_done = [&] {
+    for (const auto& session : sessions) {
+      if (!session->done.load()) return false;
+    }
+    return true;
+  };
+  while (!all_done() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& session : sessions) {
+    if (!session->done.load()) ::shutdown(session->fd, SHUT_RDWR);
+  }
+  for (auto& session : sessions) {
+    session->thread.join();
+    ::close(session->fd);
+  }
+  return any_error.load() ? 1 : 0;
+}
 
 }  // namespace
 
@@ -78,6 +175,14 @@ int main(int argc, char** argv) {
                        "serve a JSONL stream of SAIM solve jobs");
   args.add_flag("input", "job stream path, - for stdin", "-")
       .add_flag("output", "result stream path, - for stdout", "-")
+      .add_flag("listen",
+                "serve the protocol on host:port (TCP) instead of "
+                "input/output; port 0 picks an ephemeral port",
+                "")
+      .add_flag("port-file",
+                "write the bound --listen port to this file (rendezvous "
+                "for port 0)",
+                "")
       .add_flag("workers", "solver worker threads (0 = hardware)", "0")
       .add_flag("cache", "result-cache capacity (0 disables)", "256")
       .add_flag("max-batch",
@@ -92,28 +197,6 @@ int main(int argc, char** argv) {
       .add_bool("stats", "append a final summary line to stderr");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
-  std::ifstream file_in;
-  const std::string input = args.get("input");
-  if (input != "-") {
-    file_in.open(input);
-    if (!file_in) {
-      std::fprintf(stderr, "saim_serve: cannot open '%s'\n", input.c_str());
-      return 2;
-    }
-  }
-  std::istream& in = input == "-" ? std::cin : file_in;
-
-  std::ofstream file_out;
-  const std::string output = args.get("output");
-  if (output != "-") {
-    file_out.open(output);
-    if (!file_out) {
-      std::fprintf(stderr, "saim_serve: cannot open '%s'\n", output.c_str());
-      return 2;
-    }
-  }
-  std::ostream& out = output == "-" ? std::cout : file_out;
-
   service::ServiceOptions service_options;
   // Negative values would wrap to huge size_t counts; clamp to the
   // "pick for me" / "disabled" zero instead.
@@ -125,178 +208,44 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(1, args.get_int("max-batch")));
   service::SolveService svc(service_options);
 
-  const bool stream = args.get_bool("stream");
-  const bool warm_default = args.get_bool("warm-start");
+  service::SessionOptions session_options;
+  session_options.stream = args.get_bool("stream");
+  session_options.warm_default = args.get_bool("warm-start");
 
-  bool any_error = false;
-  std::int64_t next_seq = 0;
-  // Renders (and marks emitted) the result/error line for a FINISHED job.
-  // In stream mode, lines for ACCEPTED jobs carry the emission sequence
-  // number; lines rejected at submission never consume one (the global
-  // completion order counts real jobs only). In batch mode results print
-  // after EOF in input order, without seq.
-  const auto render = [&](PendingJob& job) -> std::string {
-    job.emitted = true;
-    if (!job.handle.valid()) {
-      any_error = true;
-      util::JsonWriter err;
-      err.field("id", job.id).field("error", job.error);
-      return err.str();
-    }
-    const std::int64_t seq = stream ? next_seq++ : -1;
-    const auto response = job.handle.wait();  // finished: returns at once
-    if (response->status == core::Status::kError) {
-      any_error = true;
-      util::JsonWriter err;
-      err.field("id", job.id).field("error", response->error);
-      if (seq >= 0) err.field("seq", seq);
-      return err.str();
-    }
-    core::JsonlContext context;
-    context.id = job.id;
-    context.instance = job.instance;
-    context.backend = job.backend;
-    context.wall_ms = response->wall_ms;
-    context.cache_hit = response->cache_hit;
-    context.fingerprint = response->fingerprint;
-    context.batch_size = response->batch_size;
-    context.warm_started = response->warm_started;
-    context.seq = seq;
-    return core::result_to_jsonl(*response->result, context);
-  };
-  // A drain barrier's acknowledgement line (no seq: control lines never
-  // consume completion-order numbers).
-  const auto render_drain = [](PendingJob& job) -> std::string {
-    job.emitted = true;
-    util::JsonWriter ack;
-    ack.field("id", job.id).field("drained", true);
-    return ack.str();
-  };
-
-  std::vector<PendingJob> jobs;
-  std::vector<std::size_t> unemitted;  ///< indices into `jobs`, in order
-  std::mutex jobs_mutex;  ///< stream mode: guards jobs/unemitted/render
-  bool input_done = false;  ///< guarded by jobs_mutex
-  std::mutex out_mutex;  ///< serializes `out` between emitter and pongs
-
-  // Stream mode emits from a dedicated thread so completions surface the
-  // moment they happen — even while the main thread is blocked in getline
-  // waiting for a slow producer (a request-response coprocess can keep
-  // the pipe open and still read results). Each pass sweeps only the
-  // still-unemitted indices with non-blocking try_get, renders under the
-  // lock but WRITES outside it (a slow result consumer never stalls
-  // submission), and exits once input is done and everything is emitted.
-  // The exit check reads input_done inside the same critical section as
-  // the sweep, so a final job pushed before input_done was set can never
-  // be skipped. A drain barrier emits only once every entry before it has
-  // — jobs after it may still overtake it, matching the contract that
-  // "drained" certifies the PAST, not the future.
-  std::thread emitter;
-  if (stream) {
-    emitter = std::thread([&] {
-      while (true) {
-        std::vector<std::string> lines;
-        bool done;
-        bool all_emitted;
-        {
-          std::lock_guard<std::mutex> lock(jobs_mutex);
-          bool blocked = false;  // an earlier entry is still unfinished
-          std::erase_if(unemitted, [&](std::size_t i) {
-            PendingJob& job = jobs[i];
-            if (job.drain) {
-              if (blocked) return false;
-              lines.push_back(render_drain(job));
-              return true;
-            }
-            if (job.handle.valid() && !job.handle.try_get()) {
-              blocked = true;
-              return false;
-            }
-            lines.push_back(render(job));
-            return true;
-          });
-          all_emitted = unemitted.empty();
-          done = input_done;
-        }
-        if (!lines.empty()) {
-          std::lock_guard<std::mutex> lock(out_mutex);
-          for (const auto& l : lines) out << l << "\n";
-          out.flush();
-        }
-        if (done && all_emitted) return;
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
-      }
-    });
-  }
-
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    PendingJob pending;
-    pending.id = "job" + std::to_string(line_no);
-    try {
-      const util::JsonValue parsed = util::parse_json(line);
-      // Use the line's own id everywhere — result lines, error lines,
-      // control acknowledgements — falling back to the line number.
-      if (const auto* id = parsed.find("id")) {
-        if (!id->as_string().empty()) pending.id = id->as_string();
-      }
-      if (const auto cmd = service::control_cmd(parsed)) {
-        if (*cmd == "ping") {
-          // Liveness probe: answered immediately, even in batch mode and
-          // even while every worker is busy (submission never blocks).
-          // "inflight" counts ACCEPTED jobs not yet emitted — rejected
-          // lines and drain barriers are not load.
-          std::size_t inflight = 0;
-          {
-            std::lock_guard<std::mutex> lock(jobs_mutex);
-            for (const std::size_t i : unemitted) {
-              if (jobs[i].handle.valid()) ++inflight;
-            }
-          }
-          util::JsonWriter pong;
-          pong.field("id", pending.id)
-              .field("pong", true)
-              .field("inflight", static_cast<std::uint64_t>(inflight));
-          std::lock_guard<std::mutex> lock(out_mutex);
-          out << pong.str() << "\n";
-          out.flush();
-          continue;
-        }
-        pending.drain = true;  // barrier; acknowledged by the emitter
-      } else {
-        service::ParsedJob job = service::parse_job(parsed, warm_default);
-        job.request.tag = pending.id;
-        pending.instance = job.instance;
-        pending.backend = job.request.backend.name;
-        pending.handle = svc.submit(std::move(job.request));
-      }
-    } catch (const std::exception& e) {
-      pending.error = e.what();
-    }
-    {
-      // Uncontended in batch mode (the emitter thread only exists with
-      // --stream), so one always-locked push keeps the paths identical.
-      std::lock_guard<std::mutex> lock(jobs_mutex);
-      jobs.push_back(std::move(pending));
-      unemitted.push_back(jobs.size() - 1);
-    }
-  }
-
-  if (stream) {
-    {
-      std::lock_guard<std::mutex> lock(jobs_mutex);
-      input_done = true;
-    }
-    emitter.join();  // drains every remaining completion, then exits
+  int exit_code = 0;
+  if (!args.get("listen").empty()) {
+    exit_code = serve_listen(svc, session_options, args.get("listen"),
+                             args.get("port-file"));
   } else {
-    for (auto& job : jobs) {
-      out << (job.drain ? render_drain(job) : render(job)) << "\n";
+    std::ifstream file_in;
+    const std::string input = args.get("input");
+    if (input != "-") {
+      file_in.open(input);
+      if (!file_in) {
+        std::fprintf(stderr, "saim_serve: cannot open '%s'\n", input.c_str());
+        return 2;
+      }
     }
+    std::istream& in = input == "-" ? std::cin : file_in;
+
+    std::ofstream file_out;
+    const std::string output = args.get("output");
+    if (output != "-") {
+      file_out.open(output);
+      if (!file_out) {
+        std::fprintf(stderr, "saim_serve: cannot open '%s'\n",
+                     output.c_str());
+        return 2;
+      }
+    }
+    std::ostream& out = output == "-" ? std::cout : file_out;
+
+    service::IostreamSessionIO io(in, out);
+    const auto result = service::run_stream_session(svc, io,
+                                                    session_options);
+    out.flush();
+    exit_code = result.any_error ? 1 : 0;
   }
-  out.flush();
 
   if (args.get_bool("stats")) {
     const auto s = svc.stats();
@@ -312,5 +261,5 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.warm_seeded),
                  s.cache.hit_rate());
   }
-  return any_error ? 1 : 0;
+  return exit_code;
 }

@@ -1,31 +1,38 @@
-// saim_shard — sharded multi-process serving front door.
+// saim_shard — self-healing sharded serving front door.
 //
 // Speaks the docs/PROTOCOL.md JSONL wire format on both sides: clients
 // talk to saim_shard exactly as they would to `saim_serve --stream`, and
-// saim_shard spawns and supervises N `saim_serve --stream` child
-// processes (one per shard) over pipes, routing each job by consistent
-// hashing on its canonical problem fingerprint. All jobs over one
-// instance land on one shard, so that shard's result cache, coalescer,
-// same-instance batcher and warm-start pool stay hot for its keyslice —
-// the front door multiplies PR 3's single-process wins by the shard
-// count. The routing/remapping brain is service/shard_router.{hpp,cpp};
-// the pipe plumbing is service/process_child.{hpp,cpp}.
+// saim_shard runs a fleet of saim_serve shards — local `--stream`
+// children over fork/exec pipes plus, with `--connect host:port`, remote
+// `saim_serve --listen` servers over TCP — routing each job by
+// consistent hashing on its canonical problem fingerprint. All jobs over
+// one instance land on one shard, so that shard's result cache,
+// coalescer, same-instance batcher and warm-start pool stay hot for its
+// keyslice. The routing/remapping brain is service/shard_router; the
+// transports are service/process_child (pipes) and net/socket_child
+// (TCP) behind net::ShardEndpoint; the self-healing layer —
+// crash respawn with backoff, ring rejoin, live resharding, warm-pool
+// handoff, health probes — is service/supervisor.
 //
-// Semantics (all inherited from the router):
+// Semantics (inherited from router + supervisor):
 //   * results stream in global completion order, each accepted job tagged
 //     with a global "seq" (per-shard seqs are remapped; rejected lines
 //     carry none);
 //   * per-shard bounded in-flight windows give backpressure — a slow
 //     shard throttles only its own keyslice;
-//   * children are health-probed with {"cmd":"ping"} control lines; a
-//     child that stops answering is killed, and any child that dies is
-//     dropped from the ring with its unanswered jobs requeued onto the
-//     next live shard (zero lost jobs across a crash);
-//   * on EOF the front door drains every shard (close stdin, collect
-//     remaining results) before exiting.
+//   * a crashed or unresponsive LOCAL shard is respawned with backoff
+//     and rejoins the ring (its unanswered jobs fail over to survivors
+//     first — zero lost jobs; with no survivor they are held and replay
+//     into the replacement). Dead remote shards fail over and stay gone;
+//   * {"cmd":"reshard","shards":N} grows/shrinks the local fleet live;
+//     {"cmd":"shutdown"} (or Ctrl-C / SIGTERM) stops intake, drains
+//     every accepted job, answers {"bye":true}, and tears the fleet down
+//     gracefully — shutdown control lines to the children, waitpid, no
+//     SIGKILL unless a child overstays;
+//   * on EOF the front door drains every shard before exiting.
 //
-// Example — route a stream across 4 shards, 1 worker each:
-//   saim_shard --shards 4 --workers 1 < jobs.jsonl > results.jsonl
+// Example — 4 local shards plus one remote box:
+//   saim_shard --shards 4 --connect 10.0.0.7:7777 < jobs.jsonl
 //
 // Exit status mirrors saim_serve: 0 all jobs ok, 1 any error line, 2 bad
 // invocation.
@@ -48,14 +55,20 @@
 
 #include <unistd.h>
 
-#include "service/process_child.hpp"
-#include "service/shard_driver.hpp"
+#include "net/connection.hpp"
+#include "service/job_parser.hpp"
 #include "service/shard_router.hpp"
+#include "service/supervisor.hpp"
 #include "util/cli.hpp"
+#include "util/jsonl.hpp"
 
 namespace {
 
 using namespace saim;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
 
 /// saim_serve is expected to sit next to saim_shard unless --serve says
 /// otherwise.
@@ -93,9 +106,12 @@ bool executable_exists(const std::string& serve) {
 
 int main(int argc, char** argv) {
   util::ArgParser args("saim_shard",
-                       "shard a JSONL solve-job stream across saim_serve "
-                       "worker processes");
-  args.add_flag("shards", "saim_serve child processes to spawn", "2")
+                       "shard a JSONL solve-job stream across a "
+                       "self-healing fleet of saim_serve shards");
+  args.add_flag("shards", "local saim_serve child processes to spawn", "2")
+      .add_multi("connect",
+                 "host:port of a remote `saim_serve --listen --stream` to "
+                 "join the ring (repeatable)")
       .add_flag("serve", "path to the saim_serve binary (default: next to "
                 "this one)", "")
       .add_flag("input", "job stream path, - for stdin", "-")
@@ -111,9 +127,16 @@ int main(int argc, char** argv) {
                 "shard")
       .add_flag("window", "max in-flight jobs per shard", "32")
       .add_flag("ping-ms",
-                "health-probe interval; a shard missing 5 pongs is killed "
-                "and its jobs requeued (0 disables)",
+                "health-probe interval; a shard missing 5 pongs is "
+                "terminated and (if local) respawned (0 disables)",
                 "1000")
+      .add_bool("no-respawn",
+                "do not re-exec crashed local shards (PR 4 fail-static "
+                "behavior)")
+      .add_flag("max-restarts",
+                "consecutive crashes before a local shard slot is "
+                "abandoned",
+                "5")
       .add_bool("stats", "per-shard routing summary on stderr at exit");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
@@ -121,14 +144,28 @@ int main(int argc, char** argv) {
     return static_cast<std::size_t>(
         std::max<std::int64_t>(0, args.get_int(flag)));
   };
+
+  // Fleet membership: locals first (slots 0..L-1), then remotes.
+  std::vector<net::HostPort> remotes;
+  for (const auto& spec : args.get_all("connect")) {
+    const auto hostport = net::parse_hostport(spec);
+    if (!hostport) {
+      std::fprintf(stderr, "saim_shard: bad --connect '%s' (want host:port)\n",
+                   spec.c_str());
+      return 2;
+    }
+    remotes.push_back(*hostport);
+  }
+  std::size_t locals = nonneg("shards");
+  if (locals == 0 && remotes.empty()) locals = 1;
+
   service::RouterOptions router_options;
-  router_options.shards = std::max<std::size_t>(1, nonneg("shards"));
+  router_options.shards = locals + remotes.size();
   router_options.window = std::max<std::size_t>(1, nonneg("window"));
-  const long ping_ms = static_cast<long>(nonneg("ping-ms"));
 
   std::string serve = args.get("serve");
   if (serve.empty()) serve = sibling_serve_path(argv[0]);
-  if (!executable_exists(serve)) {
+  if (locals > 0 && !executable_exists(serve)) {
     std::fprintf(stderr, "saim_shard: cannot execute '%s'\n", serve.c_str());
     return 2;
   }
@@ -155,22 +192,41 @@ int main(int argc, char** argv) {
   }
   std::ostream& out = output == "-" ? std::cout : file_out;
 
-  // Spawn the fleet. Each shard is a full saim_serve in --stream mode.
-  std::vector<std::string> child_args = {
+  // The fleet: router (routing state) + supervisor (endpoints, respawn,
+  // resharding, warm handoff, health).
+  service::ShardRouter router(router_options);
+  service::SupervisorOptions supervisor_options;
+  supervisor_options.local_argv = {
       serve,
       "--stream",
       "--workers", args.get("workers"),
       "--cache", args.get("cache"),
       "--max-batch", args.get("max-batch"),
   };
-  if (args.get_bool("warm-start")) child_args.push_back("--warm-start");
-  std::vector<std::unique_ptr<service::ProcessChild>> children;
-  children.reserve(router_options.shards);
-  for (std::size_t s = 0; s < router_options.shards; ++s) {
-    children.push_back(
-        std::make_unique<service::ProcessChild>(child_args));
+  if (args.get_bool("warm-start")) {
+    supervisor_options.local_argv.push_back("--warm-start");
   }
-  service::ShardRouter router(router_options);
+  supervisor_options.respawn = !args.get_bool("no-respawn");
+  supervisor_options.max_restarts = static_cast<int>(
+      std::max<std::size_t>(1, nonneg("max-restarts")));
+  supervisor_options.ping_ms = static_cast<int>(nonneg("ping-ms"));
+  service::Supervisor supervisor(router, supervisor_options);
+  for (std::size_t s = 0; s < locals; ++s) supervisor.attach_local(s);
+  for (std::size_t i = 0; i < remotes.size(); ++i) {
+    try {
+      supervisor.attach_remote(locals + i, remotes[i].host, remotes[i].port);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "saim_shard: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  // Ctrl-C / SIGTERM turn into a graceful shutdown: stop intake, drain
+  // every accepted job, tear the fleet down, then exit. (Children sit in
+  // their own process groups, so the terminal's SIGINT does not reach
+  // them directly — the front door stays in charge of the drain.)
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   // Memory backstops. The routed-jobs side: stop parsing/routing when
   // this many jobs wait for a window slot. The raw-lines side: the reader
@@ -204,93 +260,116 @@ int main(int argc, char** argv) {
     out.flush();
   };
 
-  std::size_t line_no = 0;
-  auto last_ping = std::chrono::steady_clock::now();
-  std::vector<int> missed_pongs(router_options.shards, 0);
-  std::vector<bool> ping_outstanding(router_options.shards, false);
+  bool intake_open = true;   ///< false after {"cmd":"shutdown"} or a signal
+  bool front_error = false;  ///< error lines the front door produced itself
+  std::string bye_id;        ///< shutdown ack id; emitted after the drain
+  bool saw_shutdown_cmd = false;
 
+  std::size_t line_no = 0;
   for (;;) {
-    // Ingest as much input as backpressure allows.
+    if (g_signal && intake_open) {
+      intake_open = false;  // drain what was accepted, then leave
+      std::fprintf(stderr, "saim_shard: signal received, draining\n");
+    }
+
+    // Ingest as much input as backpressure allows, intercepting the
+    // fleet-management control lines the router must not see.
     bool done;
     for (;;) {
       std::string line;
       {
         std::lock_guard<std::mutex> lock(lines_mutex);
-        done = input_done && lines.empty();
-        if (lines.empty() || router.total_pending() >= high_water) break;
+        done = (input_done && lines.empty()) || !intake_open;
+        if (!intake_open || lines.empty() ||
+            router.total_pending() >= high_water) {
+          break;
+        }
         line = std::move(lines.front());
         lines.pop_front();
       }
       lines_cv.notify_one();
       ++line_no;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+      // Fleet-management control lines (reshard/shutdown/export_warm/
+      // import_warm) are handled here; ping/drain and job lines flow to
+      // the router. The substring test only gates the extra parse —
+      // false positives cost one parse_json, nothing else.
+      if (line.find("\"cmd\"") != std::string::npos) {
+        std::string cmd_id = "job" + std::to_string(line_no);
+        try {
+          const util::JsonValue parsed = util::parse_json(line);
+          if (const auto* id = parsed.find("id")) {
+            if (!id->as_string().empty()) cmd_id = id->as_string();
+          }
+          const auto cmd = service::control_cmd(parsed);
+          if (cmd && *cmd == "shutdown") {
+            intake_open = false;
+            saw_shutdown_cmd = true;
+            bye_id = cmd_id;
+            break;  // stop intake mid-buffer: shutdown certifies the past
+          }
+          if (cmd && *cmd == "reshard") {
+            const auto* shards = parsed.find("shards");
+            if (!shards || !shards->is_number()) {
+              throw std::runtime_error("reshard needs a numeric \"shards\"");
+            }
+            const double want = shards->as_double();
+            if (!(want >= 0.0) || want > 1024.0) {
+              throw std::runtime_error("reshard \"shards\" must be 0..1024");
+            }
+            const std::size_t applied =
+                supervisor.reshard(static_cast<std::size_t>(want));
+            util::JsonWriter ack;
+            ack.field("id", cmd_id)
+                .field("resharded", true)
+                .field("shards", static_cast<std::uint64_t>(applied));
+            emit({ack.str()});
+            continue;
+          }
+          if (cmd && (*cmd == "export_warm" || *cmd == "import_warm")) {
+            throw std::runtime_error(
+                "control cmd \"" + *cmd +
+                "\" is not served by the saim_shard front door (warm "
+                "pools live in the shards)");
+          }
+        } catch (const std::exception& e) {
+          front_error = true;
+          util::JsonWriter err;
+          err.field("id", cmd_id).field("error", e.what());
+          emit({err.str()});
+          continue;
+        }
+      }
       emit(router.accept_line(line, line_no));
     }
 
-    emit(service::pump_shards(router, children, 2));
-    for (std::size_t s = 0; s < children.size(); ++s) {
-      // A child that exec-failed or crashed instantly deserves a loud
-      // note; the router has already requeued or errored its jobs.
-      if (children[s] && !router.alive(s) && children[s]->eof() &&
-          !children[s]->running() && WIFEXITED(children[s]->exit_status()) &&
-          WEXITSTATUS(children[s]->exit_status()) == 127) {
-        std::fprintf(stderr, "saim_shard: shard %zu could not exec '%s'\n",
-                     s, serve.c_str());
-        children[s].reset();
-      }
-    }
-    // With no live child there is no pollable fd, so pump_shards returns
-    // immediately; sleep instead of spinning while input stays open.
+    emit(supervisor.pump(2));
+
+    // With no live shard and none respawning there is no pollable fd, so
+    // pump returns immediately; sleep instead of spinning.
     if (router.live_shards() == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-
-    // Health probes: a shard missing 5 consecutive pongs while its
-    // process still looks alive is wedged — kill it; EOF then routes its
-    // jobs to the survivors. Only intervals with a ping actually
-    // outstanding count as misses.
-    if (ping_ms > 0) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now - last_ping >= std::chrono::milliseconds(ping_ms)) {
-        last_ping = now;
-        for (std::size_t s = 0; s < children.size(); ++s) {
-          if (!children[s] || !router.alive(s)) continue;
-          if (router.take_pong(s)) {
-            missed_pongs[s] = 0;
-          } else if (ping_outstanding[s] && ++missed_pongs[s] >= 5) {
-            std::fprintf(stderr,
-                         "saim_shard: shard %zu unresponsive, killing\n", s);
-            children[s]->kill(SIGKILL);
-            ping_outstanding[s] = false;
-            continue;
-          }
-          children[s]->send_line(R"({"cmd":"ping"})");
-          ping_outstanding[s] = true;
-        }
-      }
     }
 
     if (done && router.idle()) break;
   }
 
-  // Graceful drain: close every child's stdin; saim_serve exits after
-  // emitting what little may remain (router.idle() already guarantees
-  // every job was answered, so this is just process teardown).
-  for (auto& child : children) {
-    if (child) child->close_stdin();
+  if (saw_shutdown_cmd) {
+    util::JsonWriter bye;
+    bye.field("id", bye_id).field("bye", true);
+    emit({bye.str()});
   }
-  for (std::size_t s = 0; s < children.size(); ++s) {
-    if (!children[s]) continue;
-    for (int spins = 0; children[s]->running() && spins < 2000; ++spins) {
-      children[s]->read_lines();  // let it flush and reach EOF
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-    if (children[s]->running()) children[s]->kill(SIGKILL);
-  }
-  reader.join();
+
+  // Graceful fleet teardown: shutdown control lines + stdin EOF, wait for
+  // the children's own exits, reap — SIGKILL only on an overstay.
+  supervisor.shutdown_fleet();
+  emit(supervisor.drain_deferred());
+  out.flush();
 
   if (args.get_bool("stats")) {
     const auto& s = router.stats();
+    const auto& sup = supervisor.stats();
     std::fprintf(stderr,
                  "saim_shard: %llu accepted, %llu emitted, %llu rejected, "
                  "%llu requeued, %llu orphaned, %zu/%zu shards alive\n",
@@ -299,12 +378,36 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.rejected),
                  static_cast<unsigned long long>(s.requeued),
                  static_cast<unsigned long long>(s.orphaned),
-                 router.live_shards(), children.size());
+                 router.live_shards(), router.shard_slots());
+    std::fprintf(stderr,
+                 "saim_shard: supervisor: %llu respawns, %llu abandoned, "
+                 "%llu reshards, %llu retired, %llu warm entries forwarded, "
+                 "%llu unresponsive kills\n",
+                 static_cast<unsigned long long>(sup.respawns),
+                 static_cast<unsigned long long>(sup.respawn_failures),
+                 static_cast<unsigned long long>(sup.reshards),
+                 static_cast<unsigned long long>(sup.retired),
+                 static_cast<unsigned long long>(sup.warm_forwarded),
+                 static_cast<unsigned long long>(sup.unresponsive_kills));
     for (std::size_t i = 0; i < s.routed_per_shard.size(); ++i) {
-      std::fprintf(stderr, "  shard %zu: %llu jobs routed%s\n", i,
+      std::fprintf(stderr, "  shard %zu: %llu jobs routed%s%s\n", i,
                    static_cast<unsigned long long>(s.routed_per_shard[i]),
-                   router.alive(i) ? "" : " (down)");
+                   router.alive(i) ? "" : " (down)",
+                   supervisor.is_local(i) ? "" : " (remote)");
     }
   }
-  return router.any_error() ? 1 : 0;
+
+  const int code = (router.any_error() || front_error) ? 1 : 0;
+  // The reader thread may still be parked in getline on an open stdin
+  // (signal/shutdown path). Joining would hang; exiting without static
+  // teardown is safe — everything worth flushing was flushed above.
+  {
+    std::lock_guard<std::mutex> lock(lines_mutex);
+    if (!input_done) {
+      std::fflush(nullptr);
+      std::_Exit(code);
+    }
+  }
+  reader.join();
+  return code;
 }
