@@ -5,35 +5,25 @@
 //     model rebuild — the optimization that makes the SAIM outer loop
 //     essentially free,
 //   * energy evaluations and QUBO->Ising conversion,
-//   * recompute-every-visit vs incremental LocalFieldState sweeps.
+//   * recompute-every-visit vs incremental vs bit-sliced sweeps.
 //
-// The custom main() below additionally times the recompute/incremental
-// comparison on the paper's density-0.25 QKP-200 Ising model at an early
-// and a late annealing beta and writes BENCH_sweep.json before handing
-// over to google-benchmark.
+// The BENCH_sweep.json report (sweep-engine throughput comparison, CI
+// floor) lives in bench/sweep_rates.cpp, which does not need
+// google-benchmark.
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <cstdio>
-#include <string_view>
 #include <vector>
 
-#include "anneal/backend.hpp"
-#include "ising/adjacency.hpp"
 #include "ising/convert.hpp"
-#include "ising/local_field.hpp"
-#include "lagrange/lagrangian_model.hpp"
 #include "pbit/pbit_machine.hpp"
-#include "problems/qkp.hpp"
-#include "util/timer.hpp"
+#include "sweep_common.hpp"
 
 namespace {
 
 using namespace saim;
-
-problems::QkpInstance bench_instance(std::size_t n, int density) {
-  return problems::make_paper_qkp(n, density, 1);
-}
+using benchfix::bench_instance;
+using benchfix::incremental_sweep;
+using benchfix::recompute_sweep;
 
 void BM_PbitSweep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -126,141 +116,6 @@ void BM_QkpGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_QkpGenerate)->Arg(100)->Arg(300);
 
-// ---------------------------------------------------------------------------
-// Recompute vs incremental sweep engine.
-//
-// Both variants run identical Metropolis dynamics; the only difference is
-// how the local field I_i is obtained: a fresh CSR scan per visit
-// (O(deg), the pre-LocalFieldState code path) vs an O(1) read from the
-// incrementally maintained engine. The gap is largest at late-anneal
-// betas where hardly anything flips, which is where SAIM spends most of
-// its MCS budget.
-
-void recompute_sweep(const ising::IsingModel& model,
-                     const ising::Adjacency& adj, ising::Spins& m,
-                     double beta, util::Xoshiro256pp& rng) {
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    const double in = adj.coupling_input(m, i) + model.field(i);
-    const double delta = 2.0 * static_cast<double>(m[i]) * in;
-    if (delta <= 0.0 || rng.uniform01() < std::exp(-beta * delta)) {
-      m[i] = static_cast<std::int8_t>(-m[i]);
-    }
-  }
-}
-
-void incremental_sweep(ising::LocalFieldState& lfs, ising::Spins& m,
-                       double beta, util::Xoshiro256pp& rng) {
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    const double delta = lfs.flip_delta(m, i);
-    if (delta <= 0.0 || rng.uniform01() < std::exp(-beta * delta)) {
-      lfs.flip(m, i);
-    }
-  }
-}
-
-struct SweepRates {
-  double recompute_sweeps_per_sec = 0.0;
-  double incremental_sweeps_per_sec = 0.0;
-  [[nodiscard]] double speedup() const {
-    return incremental_sweeps_per_sec / recompute_sweeps_per_sec;
-  }
-};
-
-SweepRates measure_sweep_rates(const ising::IsingModel& model,
-                               const ising::Adjacency& adj, double beta,
-                               std::size_t burn_in, std::size_t timed) {
-  // Equilibrate at the target beta so both variants see realistic flip
-  // rates, then time each from the same configuration.
-  util::Xoshiro256pp rng(42);
-  ising::Spins m(model.n());
-  for (auto& s : m) s = rng.bernoulli(0.5) ? 1 : -1;
-  ising::LocalFieldState lfs(model, adj);
-  lfs.reset(m);
-  for (std::size_t t = 0; t < burn_in; ++t) {
-    incremental_sweep(lfs, m, beta, rng);
-  }
-
-  SweepRates rates;
-  {
-    ising::Spins state = m;
-    util::Xoshiro256pp sweep_rng(7);
-    util::WallTimer timer;
-    for (std::size_t t = 0; t < timed; ++t) {
-      recompute_sweep(model, adj, state, beta, sweep_rng);
-    }
-    rates.recompute_sweeps_per_sec =
-        static_cast<double>(timed) / timer.seconds();
-    benchmark::DoNotOptimize(state.data());
-  }
-  {
-    ising::Spins state = m;
-    ising::LocalFieldState timed_lfs(model, adj);
-    timed_lfs.reset(state);
-    util::Xoshiro256pp sweep_rng(7);
-    util::WallTimer timer;
-    for (std::size_t t = 0; t < timed; ++t) {
-      incremental_sweep(timed_lfs, state, beta, sweep_rng);
-    }
-    rates.incremental_sweeps_per_sec =
-        static_cast<double>(timed) / timer.seconds();
-    benchmark::DoNotOptimize(state.data());
-  }
-  return rates;
-}
-
-void write_bench_sweep_json(const char* path) {
-  const auto inst = bench_instance(200, 25);
-  const auto mapping = problems::qkp_to_problem(inst);
-  lagrange::LagrangianModel model(mapping.problem, 2.0);
-  const ising::IsingModel& ising = model.ising();
-  const ising::Adjacency adj(ising);
-
-  const double beta_early = 0.1;  // start of the paper's linear ramp
-  const double beta_late = 5.0;   // deep anneal, near-frozen dynamics
-  const std::size_t burn_in = 300;
-  const std::size_t timed = 2000;
-
-  const SweepRates early =
-      measure_sweep_rates(ising, adj, beta_early, burn_in, timed);
-  const SweepRates late =
-      measure_sweep_rates(ising, adj, beta_late, burn_in, timed);
-
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"instance\": \"qkp_n200_density25\",\n");
-  std::fprintf(f, "  \"spins\": %zu,\n", ising.n());
-  std::fprintf(f, "  \"edges\": %zu,\n", adj.edge_count());
-  std::fprintf(f, "  \"dynamics\": \"metropolis\",\n");
-  std::fprintf(f, "  \"timed_sweeps\": %zu,\n", timed);
-  std::fprintf(f, "  \"phases\": [\n");
-  std::fprintf(f,
-               "    {\"phase\": \"early\", \"beta\": %.3f, "
-               "\"recompute_sweeps_per_sec\": %.1f, "
-               "\"incremental_sweeps_per_sec\": %.1f, "
-               "\"speedup\": %.3f},\n",
-               beta_early, early.recompute_sweeps_per_sec,
-               early.incremental_sweeps_per_sec, early.speedup());
-  std::fprintf(f,
-               "    {\"phase\": \"late\", \"beta\": %.3f, "
-               "\"recompute_sweeps_per_sec\": %.1f, "
-               "\"incremental_sweeps_per_sec\": %.1f, "
-               "\"speedup\": %.3f}\n",
-               beta_late, late.recompute_sweeps_per_sec,
-               late.incremental_sweeps_per_sec, late.speedup());
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"speedup_early\": %.3f,\n", early.speedup());
-  std::fprintf(f, "  \"speedup_late\": %.3f\n", late.speedup());
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf(
-      "BENCH_sweep.json: early %.2fx, late %.2fx incremental speedup\n",
-      early.speedup(), late.speedup());
-}
-
 void BM_SweepRecompute(benchmark::State& state) {
   const auto inst = bench_instance(200, 25);
   const auto mapping = problems::qkp_to_problem(inst);
@@ -299,40 +154,46 @@ void BM_SweepIncremental(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepIncremental)->Arg(1)->Arg(50);
 
+void BM_SweepBitsliced(benchmark::State& state) {
+  const auto inst = bench_instance(200, 25);
+  const auto mapping = problems::qkp_to_problem(inst);
+  lagrange::LagrangianModel model(mapping.problem, 2.0);
+  const ising::Adjacency adj(model.ising());
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const double beta = static_cast<double>(state.range(1)) / 10.0;
+
+  util::Xoshiro256pp rng(5);
+  ising::Spins m(model.n());
+  for (auto& s : m) s = rng.bernoulli(0.5) ? 1 : -1;
+  std::vector<ising::SliceLane> lanes(replicas);
+  const double energy = model.ising().energy(m);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    lanes[r].spins = m;
+    lanes[r].energy = energy;
+    lanes[r].fields = model.ising().fields().data();
+    lanes[r].rng = util::Xoshiro256pp(util::derive_seed(5, r)).state();
+  }
+  constexpr std::size_t kSweeps = 16;
+  const std::vector<double> betas(kSweeps, beta);
+  ising::SliceOptions so;
+  so.dynamics = ising::SliceDynamics::kMetropolis;
+  so.betas = betas;
+  so.track_best = false;
+  const ising::BitSliceEngine engine(adj);
+  for (auto _ : state) {
+    auto results = engine.run(lanes, so);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.counters["replica_sweeps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kSweeps * replicas),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepBitsliced)
+    ->Args({1, 50})
+    ->Args({32, 50})
+    ->Args({64, 1})
+    ->Args({64, 50});
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  // Strip our own flags before handing the rest to google-benchmark, and
-  // validate arguments *before* paying for the sweep-rate measurement.
-  // Plain runs emit BENCH_sweep.json; inspection runs (list/filter) skip
-  // it unless --sweep_json asks for it explicitly.
-  bool sweep_json = true;
-  bool forced = false;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    const std::string_view arg(argv[i]);
-    if (arg == "--no_sweep_json") {
-      sweep_json = false;
-      continue;
-    }
-    if (arg == "--sweep_json") {
-      forced = true;
-      continue;
-    }
-    if (arg.starts_with("--benchmark_filter") ||
-        arg.starts_with("--benchmark_list_tests")) {
-      sweep_json = false;
-    }
-    args.push_back(argv[i]);
-  }
-  sweep_json = sweep_json || forced;
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
-    return 1;
-  }
-  if (sweep_json) write_bench_sweep_json("BENCH_sweep.json");
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+BENCHMARK_MAIN();

@@ -20,6 +20,15 @@ std::vector<RunResult> IsingSolverBackend::run_batch(util::Xoshiro256pp& rng,
   return results;
 }
 
+void IsingSolverBackend::enqueue_fused(util::Xoshiro256pp& /*rng*/,
+                                       std::size_t /*replicas*/) {
+  throw std::logic_error("backend does not support fused batches");
+}
+
+std::vector<std::vector<RunResult>> IsingSolverBackend::run_fused() {
+  throw std::logic_error("backend does not support fused batches");
+}
+
 std::vector<RunResult> run_replicas_parallel(
     const std::function<RunResult(util::Xoshiro256pp&, std::size_t)>& run_one,
     util::Xoshiro256pp& rng, std::size_t replicas, std::size_t threads,
@@ -81,6 +90,18 @@ RunResult PBitBackend::run(util::Xoshiro256pp& rng) {
                    r.best_energy, r.sweeps};
 }
 
+ising::SliceOptions PBitBackend::slice_options(
+    std::span<const double> betas) const noexcept {
+  ising::SliceOptions so;
+  so.dynamics = ising::SliceDynamics::kPbit;
+  so.betas = betas;
+  so.track_best = options_.track_best;
+  so.stop = &stop_token();
+  so.stop_interval = options_.stop_interval;
+  so.threads = batch_threads();
+  return so;
+}
+
 std::vector<RunResult> PBitBackend::run_batch(util::Xoshiro256pp& rng,
                                               std::size_t replicas) {
   if (!machine_) {
@@ -88,6 +109,21 @@ std::vector<RunResult> PBitBackend::run_batch(util::Xoshiro256pp& rng,
   }
   if (warm_restart_) {
     return IsingSolverBackend::run_batch(rng, replicas);
+  }
+  if (replicas >= kBitsliceMinReplicas &&
+      options_.order == pbit::SweepOrder::kSequential) {
+    // Bit-sliced path: same derive_seed(base, r) streams, word-parallel
+    // sweeps. The base draw / entry stop check mirror
+    // run_replicas_parallel, so the caller-visible contract is unchanged.
+    const std::vector<ising::Spins> seeds = take_initial_states();
+    const std::uint64_t base = rng();
+    if (stop_token().stop_requested()) return {};
+    SlicePlan plan = make_slice_plan(machine_->model(), base, replicas, seeds);
+    const std::vector<double> betas =
+        make_beta_table(schedule_, options_.sweeps);
+    auto split =
+        run_slice_plans(machine_->adjacency(), {&plan, 1}, slice_options(betas));
+    return std::move(split.front());
   }
   pbit::AnnealOptions opts = options_;
   opts.stop = &stop_token();
@@ -105,6 +141,37 @@ std::vector<RunResult> PBitBackend::run_batch(util::Xoshiro256pp& rng,
                          std::move(res.best), res.best_energy, res.sweeps};
       },
       rng, replicas, batch_threads(), stop_token());
+}
+
+bool PBitBackend::supports_fused_batch() const noexcept {
+  return machine_ != nullptr && !warm_restart_ &&
+         options_.order == pbit::SweepOrder::kSequential;
+}
+
+void PBitBackend::enqueue_fused(util::Xoshiro256pp& rng,
+                                std::size_t replicas) {
+  if (!machine_) {
+    throw std::logic_error("PBitBackend::enqueue_fused called before bind()");
+  }
+  // Consumes exactly what run_batch would: the pending seeds and one base
+  // draw. The model's current fields are snapshotted into the plan, so the
+  // caller may rewrite them for the next member immediately after.
+  const std::vector<ising::Spins> seeds = take_initial_states();
+  const std::uint64_t base = rng();
+  fused_plans_.push_back(
+      make_slice_plan(machine_->model(), base, replicas, seeds));
+}
+
+std::vector<std::vector<RunResult>> PBitBackend::run_fused() {
+  std::vector<SlicePlan> plans = std::exchange(fused_plans_, {});
+  if (stop_token().stop_requested()) {
+    // Mirror run_batch's entry check: every pending member gets the empty
+    // batch a stopped run_batch would have returned.
+    return std::vector<std::vector<RunResult>>(plans.size());
+  }
+  const std::vector<double> betas =
+      make_beta_table(schedule_, options_.sweeps);
+  return run_slice_plans(machine_->adjacency(), plans, slice_options(betas));
 }
 
 }  // namespace saim::anneal

@@ -1,0 +1,20 @@
+// The result contract every inner-solver run hands back to SAIM's outer
+// loop. Split out of backend.hpp so lower-level helpers (the bit-sliced
+// dispatch driver) can speak it without pulling in the backend interface.
+#pragma once
+
+#include <cstddef>
+
+#include "ising/ising_model.hpp"
+
+namespace saim::anneal {
+
+struct RunResult {
+  ising::Spins last;         ///< state read at the end of the run
+  double last_energy = 0.0;  ///< H(last)
+  ising::Spins best;         ///< lowest-energy state visited during the run
+  double best_energy = 0.0;
+  std::size_t sweeps = 0;  ///< Monte-Carlo sweeps consumed by this run
+};
+
+}  // namespace saim::anneal

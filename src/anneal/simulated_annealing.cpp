@@ -79,11 +79,38 @@ RunResult MetropolisSaBackend::run(util::Xoshiro256pp& rng) {
   return sa_->run(schedule_, options_, rng);
 }
 
+ising::SliceOptions MetropolisSaBackend::slice_options(
+    std::span<const double> betas) const noexcept {
+  ising::SliceOptions so;
+  so.dynamics = ising::SliceDynamics::kMetropolis;
+  so.betas = betas;
+  so.track_best = options_.track_best;
+  // The scalar Metropolis loop has no mid-run stop checks; the engine's
+  // between-sweep polls are a strict improvement (completed batches are
+  // still bit-identical — stops only ever truncate).
+  so.stop = &stop_token();
+  so.threads = batch_threads();
+  return so;
+}
+
 std::vector<RunResult> MetropolisSaBackend::run_batch(
     util::Xoshiro256pp& rng, std::size_t replicas) {
   if (!sa_) {
     throw std::logic_error(
         "MetropolisSaBackend::run_batch called before bind()");
+  }
+  if (replicas >= kBitsliceMinReplicas) {
+    // Bit-sliced path: same derive_seed(base, r) streams, word-parallel
+    // sweeps. Base draw / entry stop check mirror run_replicas_parallel.
+    const std::vector<ising::Spins> seeds = take_initial_states();
+    const std::uint64_t base = rng();
+    if (stop_token().stop_requested()) return {};
+    SlicePlan plan = make_slice_plan(sa_->model(), base, replicas, seeds);
+    const std::vector<double> betas =
+        make_beta_table(schedule_, options_.sweeps);
+    auto split =
+        run_slice_plans(sa_->adjacency(), {&plan, 1}, slice_options(betas));
+    return std::move(split.front());
   }
   // Replica r warm-starts from seeds[r]; the rest cold-start.
   const std::vector<ising::Spins> seeds = take_initial_states();
@@ -95,6 +122,31 @@ std::vector<RunResult> MetropolisSaBackend::run_batch(
         return sa_->run(schedule_, options_, replica_rng);
       },
       rng, replicas, batch_threads(), stop_token());
+}
+
+bool MetropolisSaBackend::supports_fused_batch() const noexcept {
+  return sa_ != nullptr;
+}
+
+void MetropolisSaBackend::enqueue_fused(util::Xoshiro256pp& rng,
+                                        std::size_t replicas) {
+  if (!sa_) {
+    throw std::logic_error(
+        "MetropolisSaBackend::enqueue_fused called before bind()");
+  }
+  const std::vector<ising::Spins> seeds = take_initial_states();
+  const std::uint64_t base = rng();
+  fused_plans_.push_back(make_slice_plan(sa_->model(), base, replicas, seeds));
+}
+
+std::vector<std::vector<RunResult>> MetropolisSaBackend::run_fused() {
+  std::vector<SlicePlan> plans = std::exchange(fused_plans_, {});
+  if (stop_token().stop_requested()) {
+    return std::vector<std::vector<RunResult>>(plans.size());
+  }
+  const std::vector<double> betas =
+      make_beta_table(schedule_, options_.sweeps);
+  return run_slice_plans(sa_->adjacency(), plans, slice_options(betas));
 }
 
 }  // namespace saim::anneal

@@ -32,6 +32,15 @@ class MetropolisSa {
   RunResult run_from(ising::Spins start, const pbit::Schedule& schedule,
                      const SaOptions& options, util::Xoshiro256pp& rng) const;
 
+  /// Bound model / CSR — shared with the bit-sliced batch path so it runs
+  /// over the exact same couplings and live fields as the scalar sweeps.
+  [[nodiscard]] const ising::IsingModel& model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const ising::Adjacency& adjacency() const noexcept {
+    return adjacency_;
+  }
+
  private:
   const ising::IsingModel* model_;
   ising::Adjacency adjacency_;
@@ -45,8 +54,13 @@ class MetropolisSaBackend final : public IsingSolverBackend {
 
   void bind(const ising::IsingModel& model) override;
   RunResult run(util::Xoshiro256pp& rng) override;
+  /// Batches of kBitsliceMinReplicas+ replicas dispatch to the bit-sliced
+  /// engine — same per-replica results, one word-parallel pass.
   std::vector<RunResult> run_batch(util::Xoshiro256pp& rng,
                                    std::size_t replicas) override;
+  [[nodiscard]] bool supports_fused_batch() const noexcept override;
+  void enqueue_fused(util::Xoshiro256pp& rng, std::size_t replicas) override;
+  std::vector<std::vector<RunResult>> run_fused() override;
   [[nodiscard]] std::size_t sweeps_per_run() const override {
     return options_.sweeps;
   }
@@ -57,10 +71,14 @@ class MetropolisSaBackend final : public IsingSolverBackend {
   }
 
  private:
+  [[nodiscard]] ising::SliceOptions slice_options(
+      std::span<const double> betas) const noexcept;
+
   pbit::Schedule schedule_;
   SaOptions options_;
   std::unique_ptr<MetropolisSa> sa_;
   std::size_t model_n_ = 0;  ///< spin count of the bound model (seed checks)
+  std::vector<SlicePlan> fused_plans_;
 };
 
 }  // namespace saim::anneal

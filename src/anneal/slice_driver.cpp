@@ -1,0 +1,74 @@
+#include "anneal/slice_driver.hpp"
+
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace saim::anneal {
+
+SlicePlan make_slice_plan(const ising::IsingModel& model, std::uint64_t base,
+                          std::size_t replicas,
+                          const std::vector<ising::Spins>& seeds) {
+  SlicePlan plan;
+  const std::size_t n = model.n();
+  plan.fields.assign(model.fields().begin(), model.fields().end());
+  plan.lanes.resize(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    util::Xoshiro256pp lane_rng(util::derive_seed(base, r));
+    ising::SliceLane& lane = plan.lanes[r];
+    if (r < seeds.size() && seeds[r].size() == n) {
+      lane.spins = seeds[r];  // warm lane: stream stays at its start
+    } else {
+      lane.spins.resize(n);
+      for (auto& s : lane.spins) {
+        s = lane_rng.bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1};
+      }
+    }
+    lane.energy = model.energy(lane.spins);
+    lane.rng = lane_rng.state();
+  }
+  return plan;
+}
+
+std::vector<double> make_beta_table(const pbit::Schedule& schedule,
+                                    std::size_t sweeps) {
+  std::vector<double> betas(sweeps);
+  for (std::size_t t = 0; t < sweeps; ++t) {
+    betas[t] = schedule.beta(t, sweeps);
+  }
+  return betas;
+}
+
+std::vector<std::vector<RunResult>> run_slice_plans(
+    const ising::Adjacency& adjacency, std::span<SlicePlan> plans,
+    ising::SliceOptions options) {
+  std::vector<ising::SliceLane> all;
+  std::size_t total = 0;
+  for (const SlicePlan& plan : plans) total += plan.lanes.size();
+  all.reserve(total);
+  for (SlicePlan& plan : plans) {
+    for (ising::SliceLane& lane : plan.lanes) {
+      lane.fields = plan.fields.data();
+      all.push_back(std::move(lane));
+    }
+  }
+
+  const ising::BitSliceEngine engine(adjacency);
+  std::vector<ising::SliceResult> res = engine.run(all, options);
+
+  std::vector<std::vector<RunResult>> out;
+  out.reserve(plans.size());
+  std::size_t pos = 0;
+  for (const SlicePlan& plan : plans) {
+    std::vector<RunResult>& runs = out.emplace_back();
+    runs.reserve(plan.lanes.size());
+    for (std::size_t r = 0; r < plan.lanes.size(); ++r, ++pos) {
+      ising::SliceResult& s = res[pos];
+      runs.push_back(RunResult{std::move(s.last), s.last_energy,
+                               std::move(s.best), s.best_energy, s.sweeps});
+    }
+  }
+  return out;
+}
+
+}  // namespace saim::anneal

@@ -79,11 +79,56 @@ std::vector<BatchOutcome> solve_batch(
   // others' progress. A member whose evaluator throws is finalized as
   // kError on the spot; the shared model/backend carry no per-member state
   // across runs, so the rest of the batch is untouched.
+  //
+  // Batch-aware replica fusion: when the backend has a bit-sliced path
+  // (supports_fused_batch) and a member runs multiple replicas, the
+  // member's inner run is enqueued instead of executed, and ONE
+  // backend.run_fused() per round sweeps every pending member's replicas
+  // together — one engine dispatch instead of one per member. Per-member
+  // results are bit-identical to the unfused step() path, so fusion is
+  // pure performance policy.
+  const bool fuse = backend.supports_fused_batch();
+  std::vector<std::size_t> pending;
   while (active > 0) {
+    pending.clear();
     for (std::size_t j = 0; j < ascents.size(); ++j) {
       if (!ascents[j]) continue;
       try {
-        if (ascents[j]->step(model, backend)) {
+        if (fuse && jobs[j].options.replicas > 1) {
+          if (ascents[j]->begin_fused_round(model, backend)) {
+            pending.push_back(j);
+          } else {
+            outcomes[j].result = std::move(ascents[j]->result());
+            settle(j);
+          }
+        } else if (ascents[j]->step(model, backend)) {
+          outcomes[j].result = std::move(ascents[j]->result());
+          settle(j);
+        }
+      } catch (const std::exception& e) {
+        fail(j, e.what());
+      } catch (...) {
+        fail(j, "unknown exception in solve job");
+      }
+    }
+    if (pending.empty()) continue;
+
+    std::vector<std::vector<anneal::RunResult>> fused;
+    try {
+      fused = backend.run_fused();
+    } catch (const std::exception& e) {
+      for (const std::size_t j : pending) fail(j, e.what());
+      continue;
+    } catch (...) {
+      for (const std::size_t j : pending) {
+        fail(j, "unknown exception in fused batch run");
+      }
+      continue;
+    }
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      const std::size_t j = pending[p];
+      try {
+        if (ascents[j]->consume_fused_round(model, std::move(fused[p]))) {
           outcomes[j].result = std::move(ascents[j]->result());
           settle(j);
         }

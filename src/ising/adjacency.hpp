@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ising/ising_model.hpp"
+#include "util/simd.hpp"
 
 namespace saim::ising {
 
@@ -39,12 +40,37 @@ class Adjacency {
   }
 
   /// Coupling contribution sum_j J_ij m_j for spin i. O(deg(i)).
+  ///
+  /// Vectorized with the portable SIMD shim: four independent accumulators
+  /// over the CSR row, folded as (a0+a1)+(a2+a3), then a sequential scalar
+  /// tail. The summation order is fixed by this definition — identical for
+  /// the AVX2/NEON and scalar-emulation builds — and shared by every
+  /// consumer (LocalFieldState::reset, the parity-test references, the
+  /// bit-sliced engine's lane init), so all engines agree bit for bit.
   [[nodiscard]] double coupling_input(std::span<const std::int8_t> m,
                                       std::size_t i) const noexcept {
     const auto nbr = neighbors(i);
     const auto w = weights(i);
+    const std::size_t deg = nbr.size();
+    const std::size_t deg4 = deg & ~std::size_t{3};
+    std::size_t k = 0;
     double acc = 0.0;
-    for (std::size_t k = 0; k < nbr.size(); ++k) {
+    if (deg4 != 0) {
+      util::F64x4 accv = util::F64x4::zero();
+      for (; k < deg4; k += 4) {
+        const util::F64x4 wv = util::F64x4::load(w.data() + k);
+        const util::F64x4 mv =
+            util::F64x4::set(static_cast<double>(m[nbr[k]]),
+                             static_cast<double>(m[nbr[k + 1]]),
+                             static_cast<double>(m[nbr[k + 2]]),
+                             static_cast<double>(m[nbr[k + 3]]));
+        accv = accv + wv * mv;
+      }
+      double lanes[4];
+      util::store4(accv, lanes);
+      acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    }
+    for (; k < deg; ++k) {
       acc += w[k] * static_cast<double>(m[nbr[k]]);
     }
     return acc;

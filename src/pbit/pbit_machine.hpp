@@ -85,6 +85,15 @@ class PBitMachine {
     return adjacency_.coupling_input(m, i) + model_->field(i);
   }
 
+  /// Bound model / CSR — shared with the bit-sliced batch path so it runs
+  /// over the exact same couplings and live fields as the scalar sweeps.
+  [[nodiscard]] const ising::IsingModel& model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const ising::Adjacency& adjacency() const noexcept {
+    return adjacency_;
+  }
+
  private:
   /// One Monte-Carlo sweep at inverse temperature beta. Reads each p-bit's
   /// input from the incremental engine (O(1) per visit) and pushes accepted

@@ -66,6 +66,8 @@ void Supervisor::attach_remote(std::size_t slot, const std::string& host,
   s.local = false;
   s.attached = true;
   s.want = true;
+  s.host = host;
+  s.port = port;
   s.spawned_at = Clock::now();
 }
 
@@ -186,8 +188,11 @@ void Supervisor::on_death(std::size_t s, std::vector<std::string>* out) {
     slot.restarts = 0;  // it earned its budget back before dying
   }
 
-  const bool will_respawn = slot.want && slot.local && options_.respawn &&
-                            slot.restarts < options_.max_restarts;
+  const bool revivable =
+      slot.local ? options_.respawn
+                 : options_.reconnect_remotes && !slot.host.empty();
+  const bool will_respawn =
+      slot.want && revivable && slot.restarts < options_.max_restarts;
   if (will_respawn) {
     if (router_.alive(s) && router_.live_shards() == 1) {
       // Sole shard: nowhere to fail over to. Hold its jobs on its own
@@ -203,16 +208,24 @@ void Supervisor::on_death(std::size_t s, std::vector<std::string>* out) {
         options_.backoff_initial_ms << std::min(slot.restarts, 20));
     slot.respawn_pending = true;
     slot.respawn_at = now + std::chrono::milliseconds(backoff);
-    std::fprintf(stderr,
-                 "saim_shard: shard %zu down, respawning in %d ms "
-                 "(attempt %d/%d)\n",
-                 s, backoff, slot.restarts + 1, options_.max_restarts);
+    if (slot.local) {
+      std::fprintf(stderr,
+                   "saim_shard: shard %zu down, respawning in %d ms "
+                   "(attempt %d/%d)\n",
+                   s, backoff, slot.restarts + 1, options_.max_restarts);
+    } else {
+      std::fprintf(stderr,
+                   "saim_shard: remote shard %zu (%s:%d) dropped, "
+                   "reconnecting in %d ms (attempt %d/%d)\n",
+                   s, slot.host.c_str(), slot.port, backoff,
+                   slot.restarts + 1, options_.max_restarts);
+    }
     return;
   }
 
-  // Dead for good: remote shard, respawn disabled, or budget exhausted.
+  // Dead for good: reconnect/respawn disabled or budget exhausted.
   if (router_.alive(s)) append(out, router_.on_child_down(s));
-  if (slot.local && options_.respawn && slot.want) {
+  if (revivable && slot.want) {
     ++stats_.respawn_failures;
     std::fprintf(stderr,
                  "saim_shard: shard %zu abandoned after %d crashes\n", s,
@@ -225,12 +238,18 @@ void Supervisor::on_death(std::size_t s, std::vector<std::string>* out) {
 bool Supervisor::try_respawn(std::size_t s, std::vector<std::string>* out) {
   Slot& slot = slots_[s];
   slot.respawn_pending = false;
-  if (!slot.want || !slot.local) return false;
+  if (!slot.want || (!slot.local && slot.host.empty())) return false;
   try {
-    slot.endpoint = std::make_unique<ProcessChild>(options_.local_argv);
+    if (slot.local) {
+      slot.endpoint = std::make_unique<ProcessChild>(options_.local_argv);
+    } else {
+      slot.endpoint =
+          std::make_unique<net::SocketChild>(slot.host, slot.port);
+    }
   } catch (const std::exception&) {
-    // fork/pipe failure (fd or process exhaustion): retry on backoff
-    // like a crash, give up on the same budget.
+    // fork/pipe failure (fd or process exhaustion) — or, for a remote,
+    // a server that is not back yet: retry on backoff like a crash,
+    // give up on the same budget.
     ++slot.restarts;
     if (slot.restarts >= options_.max_restarts) {
       if (router_.alive(s)) append(out, router_.on_child_down(s));
@@ -247,7 +266,11 @@ bool Supervisor::try_respawn(std::size_t s, std::vector<std::string>* out) {
   }
   slot.spawned_at = Clock::now();
   ++slot.restarts;
-  ++stats_.respawns;
+  if (slot.local) {
+    ++stats_.respawns;
+  } else {
+    ++stats_.remote_reconnects;
+  }
   if (!router_.alive(s)) {
     router_.revive_shard(s);  // the old keyslice routes back here
     request_warm_rebalance();  // ... and its warm entries follow

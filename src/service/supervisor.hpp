@@ -13,9 +13,11 @@
 //     the ONLY shard they are held on its pending queue instead of
 //     orphaning, and replay into the replacement. A child that stays up
 //     `stable_ms` earns its restart budget back; one that crash-loops
-//     `max_restarts` times is declared down for good. Remote shards are
-//     not respawned (this process cannot re-exec a other machine's
-//     server); their jobs fail over and stay failed over.
+//     `max_restarts` times is declared down for good. A remote shard is
+//     not respawned (this process cannot re-exec another machine's
+//     server) but its session IS redialed on the same backoff/budget:
+//     its jobs fail over immediately, and when the reconnect lands the
+//     slot rejoins the ring exactly like a respawned local child.
 //
 //   * live resharding — reshard(n) grows or shrinks the LOCAL fleet to n
 //     while jobs are in flight. Grow spawns children into recycled dead
@@ -60,6 +62,12 @@ struct SupervisorOptions {
   std::vector<std::string> local_argv;
   /// Re-exec crashed local children. Off = PR 4 fail-static behavior.
   bool respawn = true;
+  /// Redial remote (--connect) endpoints whose connection dropped, on
+  /// the same exponential-backoff/budget machinery as local respawns.
+  /// The remote server is never re-exec'd — it belongs to its operator;
+  /// this only re-establishes the session (the server may have been
+  /// restarted, or the drop may have been transient network weather).
+  bool reconnect_remotes = true;
   /// Consecutive crashes before a slot is abandoned (counter resets
   /// after a child survives stable_ms).
   int max_restarts = 5;
@@ -78,7 +86,8 @@ struct SupervisorOptions {
 class Supervisor {
  public:
   struct Stats {
-    std::uint64_t respawns = 0;        ///< successful re-execs
+    std::uint64_t respawns = 0;        ///< successful local re-execs
+    std::uint64_t remote_reconnects = 0;  ///< successful remote redials
     std::uint64_t respawn_failures = 0;///< slots abandoned after max_restarts
     std::uint64_t reshards = 0;        ///< reshard() membership changes
     std::uint64_t retired = 0;         ///< shards removed by shrink
@@ -142,6 +151,9 @@ class Supervisor {
     bool retiring = false;   ///< removed from ring, draining tail output
     bool respawn_pending = false;
     int restarts = 0;
+    /// Remote endpoint address, kept for redials (empty host = local).
+    std::string host;
+    int port = 0;
     std::chrono::steady_clock::time_point respawn_at{};
     std::chrono::steady_clock::time_point spawned_at{};
     std::chrono::steady_clock::time_point retire_deadline{};

@@ -1,0 +1,119 @@
+// Conservative bounds on libm exp/tanh for branch-free acceptance tests.
+//
+// The Monte-Carlo sweep engines spend most of a visit in one transcendental:
+// Metropolis compares a uniform against exp(-beta*dH), the p-bit machine
+// signs tanh(beta*I) + U(-1,1). Both are *comparisons*, not value uses — so
+// a cheap interval [lo, hi] guaranteed to contain the libm result decides
+// almost every visit without calling libm at all:
+//
+//   u <  lo  =>  u <  exp(arg)   (accept, certain)
+//   u >= hi  =>  u >= exp(arg)   (reject, certain)
+//   otherwise    call std::exp and decide exactly (rare: the interval is
+//                ~4e-5 wide relative, so the ambiguous band is hit on the
+//                order of 0.001% of visits)
+//
+// Decisions are therefore bit-identical to calling libm on every visit —
+// the property the bit-sliced engine's parity tests pin — while the hot
+// path runs ~10 cheap fp ops instead of an exp/tanh call per 4 lanes.
+//
+// Construction (all margins deliberately loose; verified empirically over
+// millions of points by tests/simd_shim_test.cpp):
+//   exp(a) = 2^r, r = a*log2(e). k = floor(r), f = r-k (exact), and a
+//   degree-6 Taylor of e^(f ln2) underestimates 2^f with relative
+//   remainder <= ln2^7/5040 * 2 < 3.1e-5. 2^k is assembled exactly with
+//   the (k+1023)<<52 bit trick. Upper slack 4e-5 covers the remainder +
+//   every rounding (poly Horner, exponent product, libm's own <=1 ulp);
+//   lower slack 1e-9 covers the roundings alone. |r| > 970 falls into
+//   saturated branches. The bounds hold for BOTH the true value and the
+//   libm double, so they compose: tanh bounds map exp(2x) bounds through
+//   the monotone (e-1)/(e+1), widened by an absolute pad for the division
+//   rounding and libm tanh's ~2 ulp, with |x| >= 20 saturated.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "util/simd.hpp"
+
+namespace saim::util {
+
+struct BoundsF64x4 {
+  F64x4 lo, hi;
+};
+
+namespace accept_detail {
+inline constexpr double kLog2e = 1.4426950408889634074;  // log2(e)
+inline constexpr double kLn2 = 0.6931471805599453094;    // ln 2
+inline constexpr double kExpLowerSlack = 1.0 - 1e-9;
+inline constexpr double kExpUpperSlack = 1.0 + 4e-5;
+inline constexpr double kRangeLimit = 970.0;
+inline constexpr double kTinyHi = 0x1.0p-900;
+inline constexpr double kBigLo = 0x1.0p900;
+inline constexpr double kTanhPad = 1e-12;
+inline constexpr double kTanhSat = 20.0;            // tanh within 2^-56 of 1
+inline constexpr double kTanhSatLo = 1.0 - 0x1.0p-48;
+}  // namespace accept_detail
+
+/// Per-lane [lo, hi] with lo <= std::exp(a) <= hi (and the true exp too).
+inline BoundsF64x4 exp_bounds(F64x4 a) noexcept {
+  using namespace accept_detail;
+  const F64x4 r = a * F64x4::broadcast(kLog2e);
+  const F64x4 limit = F64x4::broadcast(kRangeLimit);
+  const F64x4 tiny = cmp_lt(r, F64x4::zero() - limit);
+  const F64x4 big = cmp_lt(limit, r);
+  const F64x4 rc = fmin4(fmax4(r, F64x4::zero() - limit), limit);
+
+  const F64x4 k = floor4(rc);
+  const F64x4 f = rc - k;  // exact: k = floor(rc)
+  const F64x4 x = f * F64x4::broadcast(kLn2);
+
+  // Degree-6 Taylor of e^x, x in [0, ln2): underestimates the true value.
+  F64x4 p = F64x4::broadcast(1.0 / 720.0);
+  p = p * x + F64x4::broadcast(1.0 / 120.0);
+  p = p * x + F64x4::broadcast(1.0 / 24.0);
+  p = p * x + F64x4::broadcast(1.0 / 6.0);
+  p = p * x + F64x4::broadcast(0.5);
+  p = p * x + F64x4::broadcast(1.0);
+  p = p * x + F64x4::broadcast(1.0);
+
+  // 2^k exactly: (k + 1023) placed in the exponent field. k in
+  // [-970, 970], so k + 1023 + 2^52 is an exact integer-valued double
+  // whose low mantissa bits are k + 1023.
+  const F64x4 biased =
+      (k + F64x4::broadcast(1023.0)) + F64x4::broadcast(0x1.0p52);
+  const F64x4 pow2k = bitcast_f64(shl<52>(bitcast_u64(biased)));
+
+  const F64x4 base = p * pow2k;
+  F64x4 lo = base * F64x4::broadcast(kExpLowerSlack);
+  F64x4 hi = base * F64x4::broadcast(kExpUpperSlack);
+
+  lo = select(tiny, F64x4::zero(), lo);
+  hi = select(tiny, F64x4::broadcast(kTinyHi), hi);
+  lo = select(big, F64x4::broadcast(kBigLo), lo);
+  hi = select(big, F64x4::broadcast(
+                       std::numeric_limits<double>::infinity()),
+              hi);
+  return {lo, hi};
+}
+
+/// Per-lane [lo, hi] with lo <= std::tanh(x) <= hi.
+inline BoundsF64x4 tanh_bounds(F64x4 x) noexcept {
+  using namespace accept_detail;
+  const F64x4 sat = F64x4::broadcast(kTanhSat);
+  const F64x4 sat_pos = cmp_ge(x, sat);
+  const F64x4 sat_neg = cmp_le(x, F64x4::zero() - sat);
+
+  const BoundsF64x4 e2 = exp_bounds(x + x);  // bounds on e^(2x)
+  const F64x4 one = F64x4::broadcast(1.0);
+  const F64x4 pad = F64x4::broadcast(kTanhPad);
+  F64x4 lo = (e2.lo - one) / (e2.lo + one) - pad;
+  F64x4 hi = (e2.hi - one) / (e2.hi + one) + pad;
+
+  lo = select(sat_pos, F64x4::broadcast(kTanhSatLo), lo);
+  hi = select(sat_pos, one, hi);
+  lo = select(sat_neg, F64x4::zero() - one, lo);
+  hi = select(sat_neg, F64x4::zero() - F64x4::broadcast(kTanhSatLo), hi);
+  return {lo, hi};
+}
+
+}  // namespace saim::util

@@ -1,0 +1,518 @@
+// Portable 4-lane SIMD shim for the sweep engines.
+//
+// F64x4 / U64x4 wrap one AVX2 vector, a pair of NEON vectors, or a plain
+// 4-element array, behind one API. Every backend implements IDENTICAL
+// per-lane semantics — same operations, same rounding, no FMA contraction
+// — so a binary built with SAIM_SIMD=OFF (or on a host without AVX2/NEON)
+// produces bit-identical results to the intrinsic paths. That invariant is
+// what lets ising::BitSliceEngine and the vectorized Adjacency reductions
+// claim bit-exact parity with the scalar engines on every platform.
+//
+// Feature selection is compile-time: AVX2 when the compiler was given
+// -mavx2 (CMake's SAIM_SIMD=ON does this on x86-64), NEON on aarch64, the
+// scalar emulation otherwise or when SAIM_SIMD_DISABLE is defined.
+//
+// Mask discipline: comparison results are canonical masks (all-ones or
+// all-zeros per lane). select() and mask arithmetic assume canonical
+// masks; feeding arbitrary bit patterns is undefined behaviour of this
+// shim (the AVX2 blend reads only the lane's sign bit).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if !defined(SAIM_SIMD_DISABLE)
+#if defined(__AVX2__)
+#define SAIM_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define SAIM_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace saim::util {
+
+#if defined(SAIM_SIMD_AVX2)
+
+struct U64x4;
+
+struct F64x4 {
+  __m256d v;
+
+  static F64x4 zero() noexcept { return {_mm256_setzero_pd()}; }
+  static F64x4 broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+  static F64x4 set(double a, double b, double c, double d) noexcept {
+    return {_mm256_set_pd(d, c, b, a)};  // lane 0 = a
+  }
+  static F64x4 load(const double* p) noexcept {
+    return {_mm256_loadu_pd(p)};
+  }
+  void store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+};
+
+struct U64x4 {
+  __m256i v;
+
+  static U64x4 broadcast(std::uint64_t x) noexcept {
+    return {_mm256_set1_epi64x(static_cast<long long>(x))};
+  }
+  static U64x4 set(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                   std::uint64_t d) noexcept {
+    return {_mm256_set_epi64x(static_cast<long long>(d),
+                              static_cast<long long>(c),
+                              static_cast<long long>(b),
+                              static_cast<long long>(a))};
+  }
+  static U64x4 load(const std::uint64_t* p) noexcept {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::uint64_t* p) const noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+};
+
+inline F64x4 operator+(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+inline F64x4 operator-(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_sub_pd(a.v, b.v)};
+}
+inline F64x4 operator*(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+inline F64x4 operator/(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_div_pd(a.v, b.v)};
+}
+inline F64x4 fmax4(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_max_pd(a.v, b.v)};
+}
+inline F64x4 fmin4(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_min_pd(a.v, b.v)};
+}
+inline F64x4 floor4(F64x4 a) noexcept { return {_mm256_floor_pd(a.v)}; }
+
+// fp comparisons -> canonical all-ones/all-zeros masks (carried as F64x4).
+inline F64x4 cmp_lt(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+}
+inline F64x4 cmp_le(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+}
+inline F64x4 cmp_ge(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+}
+
+// Bitwise mask algebra on F64x4-carried masks.
+inline F64x4 mask_and(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_and_pd(a.v, b.v)};
+}
+inline F64x4 mask_or(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_or_pd(a.v, b.v)};
+}
+inline F64x4 mask_andnot(F64x4 a, F64x4 b) noexcept {  // ~a & b
+  return {_mm256_andnot_pd(a.v, b.v)};
+}
+inline F64x4 mask_xor(F64x4 a, F64x4 b) noexcept {
+  return {_mm256_xor_pd(a.v, b.v)};
+}
+
+/// Per-lane `mask ? a : b` (mask canonical).
+inline F64x4 select(F64x4 mask, F64x4 a, F64x4 b) noexcept {
+  return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+}
+/// 4-bit lane mask from the sign bits (bit l = lane l).
+inline int movemask(F64x4 mask) noexcept { return _mm256_movemask_pd(mask.v); }
+
+inline F64x4 bitcast_f64(U64x4 a) noexcept {
+  return {_mm256_castsi256_pd(a.v)};
+}
+inline U64x4 bitcast_u64(F64x4 a) noexcept {
+  return {_mm256_castpd_si256(a.v)};
+}
+
+inline U64x4 operator^(U64x4 a, U64x4 b) noexcept {
+  return {_mm256_xor_si256(a.v, b.v)};
+}
+inline U64x4 operator&(U64x4 a, U64x4 b) noexcept {
+  return {_mm256_and_si256(a.v, b.v)};
+}
+inline U64x4 operator|(U64x4 a, U64x4 b) noexcept {
+  return {_mm256_or_si256(a.v, b.v)};
+}
+inline U64x4 operator+(U64x4 a, U64x4 b) noexcept {
+  return {_mm256_add_epi64(a.v, b.v)};
+}
+template <int K>
+inline U64x4 shl(U64x4 a) noexcept {
+  return {_mm256_slli_epi64(a.v, K)};
+}
+template <int K>
+inline U64x4 shr(U64x4 a) noexcept {
+  return {_mm256_srli_epi64(a.v, K)};
+}
+/// Per-lane `mask ? a : b` on integers (mask canonical).
+inline U64x4 select(U64x4 mask, U64x4 a, U64x4 b) noexcept {
+  return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
+}
+
+#elif defined(SAIM_SIMD_NEON)
+
+struct U64x4;
+
+struct F64x4 {
+  float64x2_t lo, hi;
+
+  static F64x4 zero() noexcept { return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)}; }
+  static F64x4 broadcast(double x) noexcept {
+    return {vdupq_n_f64(x), vdupq_n_f64(x)};
+  }
+  static F64x4 set(double a, double b, double c, double d) noexcept {
+    const double lo[2] = {a, b}, hi[2] = {c, d};
+    return {vld1q_f64(lo), vld1q_f64(hi)};
+  }
+  static F64x4 load(const double* p) noexcept {
+    return {vld1q_f64(p), vld1q_f64(p + 2)};
+  }
+  void store(double* p) const noexcept {
+    vst1q_f64(p, lo);
+    vst1q_f64(p + 2, hi);
+  }
+};
+
+struct U64x4 {
+  uint64x2_t lo, hi;
+
+  static U64x4 broadcast(std::uint64_t x) noexcept {
+    return {vdupq_n_u64(x), vdupq_n_u64(x)};
+  }
+  static U64x4 set(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                   std::uint64_t d) noexcept {
+    const std::uint64_t lo[2] = {a, b}, hi[2] = {c, d};
+    return {vld1q_u64(lo), vld1q_u64(hi)};
+  }
+  static U64x4 load(const std::uint64_t* p) noexcept {
+    return {vld1q_u64(p), vld1q_u64(p + 2)};
+  }
+  void store(std::uint64_t* p) const noexcept {
+    vst1q_u64(p, lo);
+    vst1q_u64(p + 2, hi);
+  }
+};
+
+inline F64x4 operator+(F64x4 a, F64x4 b) noexcept {
+  return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+inline F64x4 operator-(F64x4 a, F64x4 b) noexcept {
+  return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+}
+inline F64x4 operator*(F64x4 a, F64x4 b) noexcept {
+  return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+}
+inline F64x4 operator/(F64x4 a, F64x4 b) noexcept {
+  return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+}
+inline F64x4 fmax4(F64x4 a, F64x4 b) noexcept {
+  return {vmaxq_f64(a.lo, b.lo), vmaxq_f64(a.hi, b.hi)};
+}
+inline F64x4 fmin4(F64x4 a, F64x4 b) noexcept {
+  return {vminq_f64(a.lo, b.lo), vminq_f64(a.hi, b.hi)};
+}
+inline F64x4 floor4(F64x4 a) noexcept {
+  return {vrndmq_f64(a.lo), vrndmq_f64(a.hi)};
+}
+
+inline F64x4 cmp_lt(F64x4 a, F64x4 b) noexcept {
+  return {vreinterpretq_f64_u64(vcltq_f64(a.lo, b.lo)),
+          vreinterpretq_f64_u64(vcltq_f64(a.hi, b.hi))};
+}
+inline F64x4 cmp_le(F64x4 a, F64x4 b) noexcept {
+  return {vreinterpretq_f64_u64(vcleq_f64(a.lo, b.lo)),
+          vreinterpretq_f64_u64(vcleq_f64(a.hi, b.hi))};
+}
+inline F64x4 cmp_ge(F64x4 a, F64x4 b) noexcept {
+  return {vreinterpretq_f64_u64(vcgeq_f64(a.lo, b.lo)),
+          vreinterpretq_f64_u64(vcgeq_f64(a.hi, b.hi))};
+}
+
+inline F64x4 mask_and(F64x4 a, F64x4 b) noexcept {
+  return {vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(a.lo),
+                                          vreinterpretq_u64_f64(b.lo))),
+          vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(a.hi),
+                                          vreinterpretq_u64_f64(b.hi)))};
+}
+inline F64x4 mask_or(F64x4 a, F64x4 b) noexcept {
+  return {vreinterpretq_f64_u64(vorrq_u64(vreinterpretq_u64_f64(a.lo),
+                                          vreinterpretq_u64_f64(b.lo))),
+          vreinterpretq_f64_u64(vorrq_u64(vreinterpretq_u64_f64(a.hi),
+                                          vreinterpretq_u64_f64(b.hi)))};
+}
+inline F64x4 mask_andnot(F64x4 a, F64x4 b) noexcept {  // ~a & b
+  return {vreinterpretq_f64_u64(vbicq_u64(vreinterpretq_u64_f64(b.lo),
+                                          vreinterpretq_u64_f64(a.lo))),
+          vreinterpretq_f64_u64(vbicq_u64(vreinterpretq_u64_f64(b.hi),
+                                          vreinterpretq_u64_f64(a.hi)))};
+}
+inline F64x4 mask_xor(F64x4 a, F64x4 b) noexcept {
+  return {vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(a.lo),
+                                          vreinterpretq_u64_f64(b.lo))),
+          vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(a.hi),
+                                          vreinterpretq_u64_f64(b.hi)))};
+}
+
+inline F64x4 select(F64x4 mask, F64x4 a, F64x4 b) noexcept {
+  return {vbslq_f64(vreinterpretq_u64_f64(mask.lo), a.lo, b.lo),
+          vbslq_f64(vreinterpretq_u64_f64(mask.hi), a.hi, b.hi)};
+}
+inline int movemask(F64x4 mask) noexcept {
+  const uint64x2_t lo = vreinterpretq_u64_f64(mask.lo);
+  const uint64x2_t hi = vreinterpretq_u64_f64(mask.hi);
+  return static_cast<int>((vgetq_lane_u64(lo, 0) >> 63) |
+                          ((vgetq_lane_u64(lo, 1) >> 63) << 1) |
+                          ((vgetq_lane_u64(hi, 0) >> 63) << 2) |
+                          ((vgetq_lane_u64(hi, 1) >> 63) << 3));
+}
+
+inline F64x4 bitcast_f64(U64x4 a) noexcept {
+  return {vreinterpretq_f64_u64(a.lo), vreinterpretq_f64_u64(a.hi)};
+}
+inline U64x4 bitcast_u64(F64x4 a) noexcept {
+  return {vreinterpretq_u64_f64(a.lo), vreinterpretq_u64_f64(a.hi)};
+}
+
+inline U64x4 operator^(U64x4 a, U64x4 b) noexcept {
+  return {veorq_u64(a.lo, b.lo), veorq_u64(a.hi, b.hi)};
+}
+inline U64x4 operator&(U64x4 a, U64x4 b) noexcept {
+  return {vandq_u64(a.lo, b.lo), vandq_u64(a.hi, b.hi)};
+}
+inline U64x4 operator|(U64x4 a, U64x4 b) noexcept {
+  return {vorrq_u64(a.lo, b.lo), vorrq_u64(a.hi, b.hi)};
+}
+inline U64x4 operator+(U64x4 a, U64x4 b) noexcept {
+  return {vaddq_u64(a.lo, b.lo), vaddq_u64(a.hi, b.hi)};
+}
+template <int K>
+inline U64x4 shl(U64x4 a) noexcept {
+  return {vshlq_n_u64(a.lo, K), vshlq_n_u64(a.hi, K)};
+}
+template <int K>
+inline U64x4 shr(U64x4 a) noexcept {
+  return {vshrq_n_u64(a.lo, K), vshrq_n_u64(a.hi, K)};
+}
+inline U64x4 select(U64x4 mask, U64x4 a, U64x4 b) noexcept {
+  return {vbslq_u64(mask.lo, a.lo, b.lo), vbslq_u64(mask.hi, a.hi, b.hi)};
+}
+
+#else  // scalar emulation — identical 4-lane semantics, no intrinsics
+
+struct U64x4;
+
+struct F64x4 {
+  double v[4];
+
+  static F64x4 zero() noexcept { return {{0.0, 0.0, 0.0, 0.0}}; }
+  static F64x4 broadcast(double x) noexcept { return {{x, x, x, x}}; }
+  static F64x4 set(double a, double b, double c, double d) noexcept {
+    return {{a, b, c, d}};
+  }
+  static F64x4 load(const double* p) noexcept {
+    return {{p[0], p[1], p[2], p[3]}};
+  }
+  void store(double* p) const noexcept {
+    p[0] = v[0];
+    p[1] = v[1];
+    p[2] = v[2];
+    p[3] = v[3];
+  }
+};
+
+struct U64x4 {
+  std::uint64_t v[4];
+
+  static U64x4 broadcast(std::uint64_t x) noexcept { return {{x, x, x, x}}; }
+  static U64x4 set(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                   std::uint64_t d) noexcept {
+    return {{a, b, c, d}};
+  }
+  static U64x4 load(const std::uint64_t* p) noexcept {
+    return {{p[0], p[1], p[2], p[3]}};
+  }
+  void store(std::uint64_t* p) const noexcept {
+    p[0] = v[0];
+    p[1] = v[1];
+    p[2] = v[2];
+    p[3] = v[3];
+  }
+};
+
+namespace simd_detail {
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+inline double mask_bits(bool b) noexcept {
+  return std::bit_cast<double>(b ? kAllOnes : std::uint64_t{0});
+}
+}  // namespace simd_detail
+
+#define SAIM_SIMD_LANEWISE(name, expr)                        \
+  inline F64x4 name(F64x4 a, F64x4 b) noexcept {              \
+    F64x4 r;                                                  \
+    for (int l = 0; l < 4; ++l) {                             \
+      const double x = a.v[l], y = b.v[l];                    \
+      (void)x;                                                \
+      (void)y;                                                \
+      r.v[l] = (expr);                                        \
+    }                                                         \
+    return r;                                                 \
+  }
+
+SAIM_SIMD_LANEWISE(operator+, x + y)
+SAIM_SIMD_LANEWISE(operator-, x - y)
+SAIM_SIMD_LANEWISE(operator*, x* y)
+SAIM_SIMD_LANEWISE(operator/, x / y)
+SAIM_SIMD_LANEWISE(fmax4, (x > y) ? x : y)
+SAIM_SIMD_LANEWISE(fmin4, (x < y) ? x : y)
+SAIM_SIMD_LANEWISE(cmp_lt, simd_detail::mask_bits(x < y))
+SAIM_SIMD_LANEWISE(cmp_le, simd_detail::mask_bits(x <= y))
+SAIM_SIMD_LANEWISE(cmp_ge, simd_detail::mask_bits(x >= y))
+#undef SAIM_SIMD_LANEWISE
+
+inline F64x4 floor4(F64x4 a) noexcept {
+  return {{std::floor(a.v[0]), std::floor(a.v[1]), std::floor(a.v[2]),
+           std::floor(a.v[3])}};
+}
+
+#define SAIM_SIMD_MASKWISE(name, expr)                        \
+  inline F64x4 name(F64x4 a, F64x4 b) noexcept {              \
+    F64x4 r;                                                  \
+    for (int l = 0; l < 4; ++l) {                             \
+      const std::uint64_t x = std::bit_cast<std::uint64_t>(a.v[l]); \
+      const std::uint64_t y = std::bit_cast<std::uint64_t>(b.v[l]); \
+      r.v[l] = std::bit_cast<double>(expr);                   \
+    }                                                         \
+    return r;                                                 \
+  }
+
+SAIM_SIMD_MASKWISE(mask_and, x& y)
+SAIM_SIMD_MASKWISE(mask_or, x | y)
+SAIM_SIMD_MASKWISE(mask_andnot, ~x& y)
+SAIM_SIMD_MASKWISE(mask_xor, x ^ y)
+#undef SAIM_SIMD_MASKWISE
+
+inline F64x4 select(F64x4 mask, F64x4 a, F64x4 b) noexcept {
+  F64x4 r;
+  for (int l = 0; l < 4; ++l) {
+    r.v[l] = (std::bit_cast<std::uint64_t>(mask.v[l]) >> 63) ? a.v[l] : b.v[l];
+  }
+  return r;
+}
+inline int movemask(F64x4 mask) noexcept {
+  int m = 0;
+  for (int l = 0; l < 4; ++l) {
+    m |= static_cast<int>(std::bit_cast<std::uint64_t>(mask.v[l]) >> 63) << l;
+  }
+  return m;
+}
+
+inline F64x4 bitcast_f64(U64x4 a) noexcept {
+  return {{std::bit_cast<double>(a.v[0]), std::bit_cast<double>(a.v[1]),
+           std::bit_cast<double>(a.v[2]), std::bit_cast<double>(a.v[3])}};
+}
+inline U64x4 bitcast_u64(F64x4 a) noexcept {
+  return {{std::bit_cast<std::uint64_t>(a.v[0]),
+           std::bit_cast<std::uint64_t>(a.v[1]),
+           std::bit_cast<std::uint64_t>(a.v[2]),
+           std::bit_cast<std::uint64_t>(a.v[3])}};
+}
+
+inline U64x4 operator^(U64x4 a, U64x4 b) noexcept {
+  return {{a.v[0] ^ b.v[0], a.v[1] ^ b.v[1], a.v[2] ^ b.v[2],
+           a.v[3] ^ b.v[3]}};
+}
+inline U64x4 operator&(U64x4 a, U64x4 b) noexcept {
+  return {{a.v[0] & b.v[0], a.v[1] & b.v[1], a.v[2] & b.v[2],
+           a.v[3] & b.v[3]}};
+}
+inline U64x4 operator|(U64x4 a, U64x4 b) noexcept {
+  return {{a.v[0] | b.v[0], a.v[1] | b.v[1], a.v[2] | b.v[2],
+           a.v[3] | b.v[3]}};
+}
+inline U64x4 operator+(U64x4 a, U64x4 b) noexcept {
+  return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2],
+           a.v[3] + b.v[3]}};
+}
+template <int K>
+inline U64x4 shl(U64x4 a) noexcept {
+  return {{a.v[0] << K, a.v[1] << K, a.v[2] << K, a.v[3] << K}};
+}
+template <int K>
+inline U64x4 shr(U64x4 a) noexcept {
+  return {{a.v[0] >> K, a.v[1] >> K, a.v[2] >> K, a.v[3] >> K}};
+}
+inline U64x4 select(U64x4 mask, U64x4 a, U64x4 b) noexcept {
+  U64x4 r;
+  for (int l = 0; l < 4; ++l) {
+    r.v[l] = (a.v[l] & mask.v[l]) | (b.v[l] & ~mask.v[l]);
+  }
+  return r;
+}
+
+#endif
+
+// ------------------------------------------------------- shared helpers
+
+template <int K>
+inline U64x4 rotl4(U64x4 a) noexcept {
+  return shl<K>(a) | shr<64 - K>(a);
+}
+
+/// Extracts the 4 lanes into an array (for deterministic horizontal
+/// reductions: callers sum as (a0+a1)+(a2+a3) so every backend agrees).
+inline void store4(F64x4 a, double out[4]) noexcept { a.store(out); }
+
+/// Exact u64 -> f64 conversion for values < 2^53 (e.g. xoshiro >> 11).
+/// AVX2 has no packed u64->f64 convert, so all backends use the same
+/// magic-number construction — exact, hence identical to a scalar
+/// static_cast<double> of the 53-bit value.
+inline F64x4 u64_to_f64_exact53(U64x4 x) noexcept {
+  const U64x4 magic = U64x4::broadcast(0x4330000000000000ULL);  // 2^52
+  const F64x4 two52 = F64x4::broadcast(0x1.0p52);
+  const F64x4 hi = bitcast_f64(shr<1>(x) | magic) - two52;  // x >> 1, exact
+  const F64x4 lo =
+      bitcast_f64((x & U64x4::broadcast(1)) | magic) - two52;  // x & 1
+  // 2*hi is exact (power-of-two scale); the add is exact because the sum
+  // is an integer < 2^53.
+  return hi + hi + lo;
+}
+
+/// One xoshiro256++ step for 4 independent lanes held in SoA state
+/// vectors. Matches util::Xoshiro256pp::operator() bit for bit per lane.
+inline U64x4 xoshiro4_next(U64x4& s0, U64x4& s1, U64x4& s2,
+                           U64x4& s3) noexcept {
+  const U64x4 result = rotl4<23>(s0 + s3) + s0;
+  const U64x4 t = shl<17>(s1);
+  s2 = s2 ^ s0;
+  s3 = s3 ^ s1;
+  s1 = s1 ^ s2;
+  s0 = s0 ^ s3;
+  s2 = s2 ^ t;
+  s3 = rotl4<45>(s3);
+  return result;
+}
+
+/// Masked variant: lanes where `mask` (canonical) is clear keep their
+/// state; set lanes advance exactly one step. Used by Metropolis dynamics,
+/// whose scalar loop draws a uniform only when delta > 0.
+inline U64x4 xoshiro4_next_masked(U64x4 mask, U64x4& s0, U64x4& s1, U64x4& s2,
+                                  U64x4& s3) noexcept {
+  U64x4 n0 = s0, n1 = s1, n2 = s2, n3 = s3;
+  const U64x4 result = xoshiro4_next(n0, n1, n2, n3);
+  s0 = select(mask, n0, s0);
+  s1 = select(mask, n1, s1);
+  s2 = select(mask, n2, s2);
+  s3 = select(mask, n3, s3);
+  return result;
+}
+
+}  // namespace saim::util

@@ -380,10 +380,12 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.orphaned),
                  router.live_shards(), router.shard_slots());
     std::fprintf(stderr,
-                 "saim_shard: supervisor: %llu respawns, %llu abandoned, "
+                 "saim_shard: supervisor: %llu respawns, "
+                 "%llu remote reconnects, %llu abandoned, "
                  "%llu reshards, %llu retired, %llu warm entries forwarded, "
                  "%llu unresponsive kills\n",
                  static_cast<unsigned long long>(sup.respawns),
+                 static_cast<unsigned long long>(sup.remote_reconnects),
                  static_cast<unsigned long long>(sup.respawn_failures),
                  static_cast<unsigned long long>(sup.reshards),
                  static_cast<unsigned long long>(sup.retired),
