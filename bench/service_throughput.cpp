@@ -1,7 +1,10 @@
 // Service-layer throughput bench: jobs/sec of SolveService on a mixed
 // QKP/MKP job stream at 1/4/8 workers, plus the cache hit-rate when the
 // stream repeats itself, plus the same-instance batching and warm-start
-// wins. Writes BENCH_service.json.
+// wins. Every phase also records per-job end-to-end latency into an
+// obs::Histogram and reports count/mean/p50/p95/p99 (closed-loop — each
+// wave submits everything then waits; an open-loop generator is a future
+// ROADMAP item). Writes BENCH_service.json.
 //
 // Four phases:
 //   * scaling — a stream of unique jobs (distinct seeds, cache off) timed
@@ -42,9 +45,11 @@
 #include <vector>
 
 #include "net/socket_child.hpp"
+#include "obs/metrics.hpp"
 #include "problems/mkp.hpp"
 #include "problems/qkp.hpp"
 #include "service/process_child.hpp"
+#include "service/service_stats.hpp"
 #include "service/request_builders.hpp"
 #include "service/shard_driver.hpp"
 #include "service/shard_router.hpp"
@@ -96,7 +101,8 @@ double run_hot_wave(service::SolveService& svc,
                     const service::SolveRequest& hot, std::size_t jobs,
                     std::size_t iterations, std::size_t sweeps,
                     std::uint64_t seed0, bool warm_start,
-                    double* best_cost = nullptr) {
+                    double* best_cost = nullptr,
+                    obs::Histogram* latency = nullptr) {
   std::vector<service::JobHandle> handles;
   handles.reserve(jobs);
   util::WallTimer timer;
@@ -108,6 +114,7 @@ double run_hot_wave(service::SolveService& svc,
   double best = std::numeric_limits<double>::infinity();
   for (auto& h : handles) {
     const auto response = h.wait();
+    if (latency) latency->observe(response->timing.total_ms);
     if (response->result->found_feasible) {
       best = std::min(best, response->result->best_cost);
     }
@@ -121,7 +128,8 @@ double run_hot_wave(service::SolveService& svc,
 double run_wave(service::SolveService& svc,
                 const std::vector<service::SolveRequest>& templates,
                 std::size_t jobs, std::size_t iterations, std::size_t sweeps,
-                bool use_cache, bool unique_seeds) {
+                bool use_cache, bool unique_seeds,
+                obs::Histogram* latency = nullptr) {
   std::vector<service::JobHandle> handles;
   handles.reserve(jobs);
   util::WallTimer timer;
@@ -130,7 +138,10 @@ double run_wave(service::SolveService& svc,
     handles.push_back(svc.submit(make_request(
         t, iterations, sweeps, unique_seeds ? j + 1 : 1, use_cache)));
   }
-  for (auto& h : handles) h.wait();
+  for (auto& h : handles) {
+    const auto response = h.wait();
+    if (latency) latency->observe(response->timing.total_ms);
+  }
   return timer.seconds();
 }
 
@@ -210,7 +221,8 @@ std::vector<std::unique_ptr<net::ShardEndpoint>> spawn_socket_fleet(
 /// failed.
 double run_sharded_wave(
     std::vector<std::unique_ptr<net::ShardEndpoint>> children,
-    const std::vector<std::string>& lines) {
+    const std::vector<std::string>& lines,
+    obs::HistogramSnapshot* latency = nullptr) {
   if (children.empty()) return -1.0;
   service::RouterOptions options;
   options.shards = children.size();
@@ -228,6 +240,12 @@ double run_sharded_wave(
     if (timer.seconds() > 300.0) return -1.0;  // wedged child: fail loudly
   }
   const double seconds = timer.seconds();
+  if (latency) {
+    // Per-shard round trips merged into one phase-level distribution.
+    for (std::size_t s = 0; s < router.shard_slots(); ++s) {
+      latency->merge(router.latency_snapshot(s));
+    }
+  }
   for (auto& child : children) child->shutdown_input();
   if (router.any_error() || emitted != lines.size()) return -1.0;
   return seconds;
@@ -290,16 +308,22 @@ int main(int argc, char** argv) {
     options.cache_capacity = 0;  // measure compute, not replay
     options.max_batch = 1;       // and worker scaling, not batching
     service::SolveService svc(options);
+    obs::Histogram latency;
     const double seconds =
         run_wave(svc, templates, jobs, iterations, sweeps,
-                 /*use_cache=*/false, /*unique_seeds=*/true);
+                 /*use_cache=*/false, /*unique_seeds=*/true, &latency);
+    const auto snap = latency.snapshot();
     jobs_per_sec[w] = static_cast<double>(jobs) / seconds;
-    std::printf("  %zu worker%s: %6.2f jobs/sec (%.2fs)\n", worker_counts[w],
-                worker_counts[w] == 1 ? " " : "s", jobs_per_sec[w], seconds);
+    std::printf("  %zu worker%s: %6.2f jobs/sec (%.2fs, e2e p50/p95 "
+                "%.0f/%.0f ms)\n",
+                worker_counts[w], worker_counts[w] == 1 ? " " : "s",
+                jobs_per_sec[w], seconds, snap.quantile(0.50),
+                snap.quantile(0.95));
     util::JsonWriter row;
     row.field("workers", static_cast<std::uint64_t>(worker_counts[w]))
         .field("jobs_per_sec", jobs_per_sec[w])
-        .field("seconds", seconds);
+        .field("seconds", seconds)
+        .raw_field("latency", service::latency_quantiles_json(snap));
     workers_json += (w ? "," : "") + row.str();
   }
   workers_json += "]";
@@ -312,12 +336,13 @@ int main(int argc, char** argv) {
   cache_options.workers = 4;
   cache_options.cache_capacity = 256;
   service::SolveService cached(cache_options);
+  obs::Histogram cache_latency;  // both waves: misses cold, hits warm
   const double cold_seconds =
       run_wave(cached, templates, jobs, iterations, sweeps,
-               /*use_cache=*/true, /*unique_seeds=*/false);
+               /*use_cache=*/true, /*unique_seeds=*/false, &cache_latency);
   const double warm_seconds =
       run_wave(cached, templates, jobs, iterations, sweeps,
-               /*use_cache=*/true, /*unique_seeds=*/false);
+               /*use_cache=*/true, /*unique_seeds=*/false, &cache_latency);
   const auto stats = cached.stats();
   const double hit_rate = stats.cache.hit_rate();
   std::printf("  mixed stream x2: cold %.2fs, warm %.2fs, cache hit-rate "
@@ -334,7 +359,9 @@ int main(int argc, char** argv) {
                               : 0.0)
       .field("coalesced", stats.coalesced)
       .field("hits", stats.cache.hits)
-      .field("misses", stats.cache.misses);
+      .field("misses", stats.cache.misses)
+      .raw_field("latency",
+                 service::latency_quantiles_json(cache_latency.snapshot()));
 
   // ---------------------------------------------------------- batch phase
   // One hot instance, distinct seeds, one worker: batching off vs on.
@@ -349,6 +376,8 @@ int main(int argc, char** argv) {
   double unbatched_seconds = 0.0;
   double batched_seconds = 0.0;
   std::uint64_t batched_jobs_stat = 0;
+  obs::Histogram unbatched_latency;
+  obs::Histogram batched_latency;
   {
     service::ServiceOptions options;
     options.workers = 1;
@@ -358,7 +387,8 @@ int main(int argc, char** argv) {
     service::SolveService unbatched(options);
     unbatched_seconds =
         run_hot_wave(unbatched, hot_batch, jobs, batch_iterations,
-                     batch_sweeps, /*seed0=*/1, /*warm_start=*/false);
+                     batch_sweeps, /*seed0=*/1, /*warm_start=*/false,
+                     /*best_cost=*/nullptr, &unbatched_latency);
   }
   {
     service::ServiceOptions options;
@@ -369,7 +399,8 @@ int main(int argc, char** argv) {
     service::SolveService batched(options);
     batched_seconds =
         run_hot_wave(batched, hot_batch, jobs, batch_iterations,
-                     batch_sweeps, /*seed0=*/1, /*warm_start=*/false);
+                     batch_sweeps, /*seed0=*/1, /*warm_start=*/false,
+                     /*best_cost=*/nullptr, &batched_latency);
     batched_jobs_stat = batched.stats().batched_jobs;
   }
   const double unbatched_jps =
@@ -394,13 +425,18 @@ int main(int argc, char** argv) {
       .field("batched_jobs_per_sec", batched_jps)
       .field("speedup",
              unbatched_jps > 0 ? batched_jps / unbatched_jps : 0.0)
-      .field("batched_jobs", batched_jobs_stat);
+      .field("batched_jobs", batched_jobs_stat)
+      .raw_field("unbatched_latency",
+                 service::latency_quantiles_json(unbatched_latency.snapshot()))
+      .raw_field("batched_latency",
+                 service::latency_quantiles_json(batched_latency.snapshot()));
 
   // ----------------------------------------------------------- warm phase
   // Cold wave fills the pool; warm wave must reach >= its best objective.
   double cold_best = 0.0;
   double warm_best = 0.0;
   std::uint64_t warm_seeded = 0;
+  obs::Histogram warm_latency;  // both waves of the phase
   {
     service::ServiceOptions options;
     options.workers = 1;
@@ -408,9 +444,9 @@ int main(int argc, char** argv) {
     service::SolveService svc(options);
     const auto& hot = templates.front();
     run_hot_wave(svc, hot, jobs, iterations, sweeps, /*seed0=*/1,
-                 /*warm_start=*/false, &cold_best);
+                 /*warm_start=*/false, &cold_best, &warm_latency);
     run_hot_wave(svc, hot, jobs, iterations, sweeps, /*seed0=*/1000,
-                 /*warm_start=*/true, &warm_best);
+                 /*warm_start=*/true, &warm_best, &warm_latency);
     warm_seeded = svc.stats().warm_seeded;
   }
   const bool warm_reaches_cold = warm_best <= cold_best;
@@ -424,7 +460,9 @@ int main(int argc, char** argv) {
   warm_json.field("cold_best_cost", cold_best)
       .field("warm_best_cost", warm_best)
       .field("warm_reaches_cold", warm_reaches_cold)
-      .field("warm_seeded", warm_seeded);
+      .field("warm_seeded", warm_seeded)
+      .raw_field("latency",
+                 service::latency_quantiles_json(warm_latency.snapshot()));
 
   // -------------------------------------------------------- sharded phase
   // The same mixed stream through the multi-process front door at growing
@@ -445,37 +483,45 @@ int main(int argc, char** argv) {
     std::string rows = "[";
     bool first_row = true;
     const auto add_row = [&](const char* transport, std::size_t shards,
-                             double jps, double seconds) {
+                             double jps, double seconds,
+                             const obs::HistogramSnapshot& latency) {
       util::JsonWriter row;
       row.field("transport", transport)
           .field("shards", static_cast<std::uint64_t>(shards))
           .field("jobs_per_sec", jps)
-          .field("seconds", seconds);
+          .field("seconds", seconds)
+          .raw_field("latency", service::latency_quantiles_json(latency));
       rows += (first_row ? "" : ",") + row.str();
       first_row = false;
     };
     for (std::size_t i = 0; i < 3; ++i) {
+      obs::HistogramSnapshot latency;
       const double seconds = run_sharded_wave(
-          spawn_pipe_fleet(serve, shard_counts[i]), lines);
+          spawn_pipe_fleet(serve, shard_counts[i]), lines, &latency);
       pipe_jps[i] = seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
-      std::printf("  pipe   %zu shard%s: %6.2f jobs/sec (%.2fs)\n",
+      std::printf("  pipe   %zu shard%s: %6.2f jobs/sec (%.2fs, round-trip "
+                  "p50/p95 %.0f/%.0f ms)\n",
                   shard_counts[i], shard_counts[i] == 1 ? " " : "s",
-                  pipe_jps[i], seconds);
-      add_row("pipe", shard_counts[i], pipe_jps[i], seconds);
+                  pipe_jps[i], seconds, latency.quantile(0.50),
+                  latency.quantile(0.95));
+      add_row("pipe", shard_counts[i], pipe_jps[i], seconds, latency);
     }
     // Socket transport at 1 and 2 shards: enough to price the transport
     // without re-measuring the scaling curve twice.
     for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
       std::vector<std::unique_ptr<service::ProcessChild>> servers;
+      obs::HistogramSnapshot latency;
       const double seconds = run_sharded_wave(
-          spawn_socket_fleet(serve, shards, &servers), lines);
+          spawn_socket_fleet(serve, shards, &servers), lines, &latency);
       for (auto& server : servers) server->terminate();
       const double jps =
           seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
       if (shards == 1) socket_jps_1 = jps;
-      std::printf("  socket %zu shard%s: %6.2f jobs/sec (%.2fs)\n", shards,
-                  shards == 1 ? " " : "s", jps, seconds);
-      add_row("socket", shards, jps, seconds);
+      std::printf("  socket %zu shard%s: %6.2f jobs/sec (%.2fs, round-trip "
+                  "p50/p95 %.0f/%.0f ms)\n",
+                  shards, shards == 1 ? " " : "s", jps, seconds,
+                  latency.quantile(0.50), latency.quantile(0.95));
+      add_row("socket", shards, jps, seconds, latency);
     }
     rows += "]";
     const double scaling = pipe_jps[0] > 0 ? pipe_jps[1] / pipe_jps[0] : 0.0;

@@ -92,6 +92,18 @@ std::string result_to_jsonl(const SolveResult& result,
       .field("fingerprint", fingerprint_hex)
       .field("batch_size", static_cast<std::uint64_t>(context.batch_size))
       .field("warm_started", context.warm_started);
+  if (context.trace) {
+    // Nested object, and strictly before seq: remap_seq (shard_router)
+    // rewrites the `,"seq":N}` suffix in place and would corrupt any
+    // field emitted after it.
+    util::JsonWriter timing;
+    timing.field("queue_ms", context.queue_ms)
+        .field("setup_ms", context.setup_ms)
+        .field("solve_ms", context.solve_ms)
+        .field("emit_ms", context.emit_ms)
+        .field("total_ms", context.total_ms);
+    json.raw_field("timing", timing.str());
+  }
   if (context.seq >= 0) json.field("seq", context.seq);
   return json.str();
 }

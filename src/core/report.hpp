@@ -39,6 +39,16 @@ struct JsonlContext {
   std::uint64_t fingerprint = 0;
   std::size_t batch_size = 1;  ///< same-instance batch the job ran in
   bool warm_started = false;   ///< seeded from the warm-start pool
+  /// Per-stage latency echo, emitted as a nested "timing" object only
+  /// when the job line set "trace": true. Kept BEFORE seq in the output:
+  /// the shard router's seq remap expects `,"seq":N}` to be the line's
+  /// tail. Milliseconds throughout.
+  bool trace = false;
+  double queue_ms = 0.0;  ///< accept/submit -> worker claim
+  double setup_ms = 0.0;  ///< claim -> solve start (batch form + build)
+  double solve_ms = 0.0;  ///< solve start -> solve end
+  double emit_ms = 0.0;   ///< response ready -> line written
+  double total_ms = 0.0;  ///< submit -> response ready
   /// Emission sequence number; emitted only when >= 0 (saim_serve
   /// --stream tags lines in completion order).
   std::int64_t seq = -1;

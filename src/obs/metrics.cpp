@@ -1,0 +1,258 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace saim::obs {
+
+// -------------------------------------------------------------- histogram
+
+double Histogram::bucket_upper(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return kMinUpper * std::ldexp(1.0, static_cast<int>(i));
+}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > kMinUpper)) return 0;  // NaN/negative/tiny: first bucket
+  // Smallest i with value <= kMinUpper * 2^i. ilogb gives floor(log2);
+  // an exact power of two is its own upper bound, anything above rounds
+  // up one bucket.
+  const double ratio = value / kMinUpper;
+  const int floor_log = std::ilogb(ratio);
+  std::size_t index = static_cast<std::size_t>(std::max(0, floor_log));
+  if (std::ldexp(1.0, floor_log) < ratio) ++index;
+  return std::min(index, kBuckets - 1);
+}
+
+void Histogram::observe(double value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add: bit-portable across
+  // standard libraries, and contention here is one add per completed job.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  // Total from the buckets themselves: count may lag the bucket adds by
+  // in-flight observations, and a rank beyond the bucket total would
+  // walk off the array.
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next >= rank) {
+      const double lower = i == 0 ? 0.0 : Histogram::bucket_upper(i - 1);
+      const double upper = Histogram::bucket_upper(i);
+      if (!std::isfinite(upper)) return lower;  // overflow: no interpolation
+      const double fraction =
+          (rank - cumulative) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return Histogram::bucket_upper(kBuckets - 2);  // unreachable in practice
+}
+
+// --------------------------------------------------------------- PromText
+
+namespace {
+
+std::string format_value(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+void append_series_line(std::string* out, std::string_view name,
+                        std::string_view labels, const std::string& value) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+void PromText::header(std::string_view name, std::string_view type,
+                      std::string_view help) {
+  out_.append("# HELP ").append(name).push_back(' ');
+  out_.append(help.empty() ? std::string_view{"(no help)"} : help);
+  out_.push_back('\n');
+  out_.append("# TYPE ").append(name).push_back(' ');
+  out_.append(type);
+  out_.push_back('\n');
+}
+
+void PromText::series(std::string_view name, std::string_view labels,
+                      double value) {
+  append_series_line(&out_, name, labels, format_value(value));
+}
+
+void PromText::series(std::string_view name, std::string_view labels,
+                      std::uint64_t value) {
+  append_series_line(&out_, name, labels, std::to_string(value));
+}
+
+void PromText::histogram(std::string_view name, std::string_view labels,
+                         const HistogramSnapshot& snap,
+                         std::string_view help) {
+  header(name, "histogram", help);
+  histogram_series(name, labels, snap);
+}
+
+void PromText::histogram_series(std::string_view name, std::string_view labels,
+                                const HistogramSnapshot& snap) {
+  const std::string bucket_name = std::string(name) + "_bucket";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    cumulative += snap.buckets[i];
+    std::string le = i + 1 >= HistogramSnapshot::kBuckets
+                         ? "+Inf"
+                         : format_value(Histogram::bucket_upper(i));
+    std::string bucket_labels = std::string(labels);
+    if (!bucket_labels.empty()) bucket_labels += ",";
+    bucket_labels += "le=\"" + le + "\"";
+    append_series_line(&out_, bucket_name, bucket_labels,
+                       std::to_string(cumulative));
+  }
+  series(std::string(name) + "_sum", labels, snap.sum);
+  series(std::string(name) + "_count", labels, cumulative);
+}
+
+// --------------------------------------------------------------- registry
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto ok = [](char c, bool first) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':' || (!first && c >= '0' && c <= '9');
+  };
+  if (!ok(name.front(), true)) return false;
+  return std::all_of(name.begin() + 1, name.end(),
+                     [&](char c) { return ok(c, false); });
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(const std::string& name,
+                                                       const std::string& help,
+                                                       Kind kind) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("bad metric name '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("metric '" + name +
+                             "' already registered with a different kind");
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return *get_or_create(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return *get_or_create(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help) {
+  return *get_or_create(name, help, Kind::kHistogram).histogram;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::optional<HistogramSnapshot> MetricsRegistry::histogram_snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kHistogram) {
+    return std::nullopt;
+  }
+  return it->second.histogram->snapshot();
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  PromText text;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        text.header(name, "counter", entry.help);
+        text.series(name, {}, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        text.header(name, "gauge", entry.help);
+        text.series(name, {}, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        text.histogram(name, {}, entry.histogram->snapshot(), entry.help);
+        break;
+    }
+  }
+  return text.str();
+}
+
+}  // namespace saim::obs

@@ -1,0 +1,180 @@
+// Observability primitives: lock-cheap counters, gauges and fixed-bucket
+// log-scale latency histograms, plus a MetricsRegistry that owns them by
+// name and renders the whole set in Prometheus text-exposition format
+// (docs/ARCHITECTURE.md, "Observability").
+//
+// Design constraints, in order:
+//   * hot-path cost — recording is a handful of relaxed atomic adds on a
+//     pre-registered handle; no lock, no allocation, no string lookup.
+//     Registration (the only locked path) happens once at startup;
+//   * pure observation — nothing here touches solver state or RNG, so
+//     solver outputs are bit-identical with metrics enabled (pinned by
+//     the parity suites);
+//   * mergeable — HistogramSnapshots add bucket-wise, so per-shard or
+//     per-wave histograms roll up into fleet/phase totals exactly.
+//
+// Histogram buckets are logarithmic: bucket i (i < kBuckets-1) holds
+// values in (upper(i-1), upper(i)] with upper(i) = kMinUpper * 2^i, and
+// the last bucket is the +Inf overflow. With kMinUpper = 1e-3 (1 us when
+// values are milliseconds) the 40 buckets span 1 us .. ~9 hours — every
+// latency this stack can produce lands in a finite bucket. Quantiles
+// interpolate linearly inside the owning bucket, the standard
+// histogram_quantile() estimate; 2x bucket growth bounds the relative
+// error at ~2x worst case, plenty for p50/p95/p99 dashboards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saim::obs {
+
+/// Monotonically increasing event count (Prometheus counter).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (Prometheus gauge).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a Histogram: plain integers, freely copyable,
+/// mergeable by bucket-wise addition.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 40;
+
+  std::array<std::uint64_t, kBuckets> buckets{};  ///< per-bucket counts
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Adds `other`'s observations into this snapshot.
+  void merge(const HistogramSnapshot& other);
+
+  /// The q-quantile estimate (q in [0,1]), linearly interpolated inside
+  /// the owning bucket; the overflow bucket reports its lower bound.
+  /// 0 when the snapshot is empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double mean() const { return count ? sum / count : 0.0; }
+};
+
+/// Fixed-bucket log-scale histogram with atomic bucket counters. observe()
+/// is wait-free (relaxed adds); snapshot() is a racy-but-consistent-enough
+/// read (each bucket individually exact, totals may lag by in-flight
+/// observations — fine for monitoring, never used for control flow).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+  /// Upper bound of bucket 0 (1 us when observing milliseconds).
+  static constexpr double kMinUpper = 1e-3;
+
+  /// Inclusive upper bound of bucket `i`; +infinity for the last bucket.
+  [[nodiscard]] static double bucket_upper(std::size_t i);
+  /// The bucket `value` falls into (values <= kMinUpper, NaN and
+  /// negatives land in bucket 0; anything past the finite range lands in
+  /// the overflow bucket).
+  [[nodiscard]] static std::size_t bucket_index(double value);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Incrementally builds a Prometheus text-exposition payload
+/// (Content-Type: text/plain; version=0.0.4). `labels` is the rendered
+/// label set without braces, e.g. `shard="0"`, empty for none.
+class PromText {
+ public:
+  /// One `# HELP` + `# TYPE` header. `type` is counter/gauge/histogram.
+  void header(std::string_view name, std::string_view type,
+              std::string_view help);
+  void series(std::string_view name, std::string_view labels, double value);
+  void series(std::string_view name, std::string_view labels,
+              std::uint64_t value);
+  /// The full _bucket/_sum/_count expansion of one histogram, headers
+  /// included (call once per name+labels pair).
+  void histogram(std::string_view name, std::string_view labels,
+                 const HistogramSnapshot& snap, std::string_view help = "");
+  /// Same expansion WITHOUT the header: for several label sets under one
+  /// metric name (one header, then one series call per label set —
+  /// duplicate # TYPE lines are a malformed exposition).
+  void histogram_series(std::string_view name, std::string_view labels,
+                        const HistogramSnapshot& snap);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Named metric registry. counter()/gauge()/histogram() get-or-create and
+/// return a stable reference — register once, record through the handle
+/// forever (handles outlive nothing: the registry owns every metric and
+/// must outlive all use). Names must match the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* ; a name can hold only one metric kind
+/// (std::logic_error otherwise).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  /// Every registered metric name, sorted (tests: "the scrape returns
+  /// every registered series").
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Read-only snapshot of one histogram by name; std::nullopt when no
+  /// histogram is registered under it (readers must not get-or-create).
+  [[nodiscard]] std::optional<HistogramSnapshot> histogram_snapshot(
+      const std::string& name) const;
+
+  /// The whole registry in Prometheus text-exposition format.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& get_or_create(const std::string& name, const std::string& help,
+                       Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< sorted render order
+};
+
+}  // namespace saim::obs

@@ -1,0 +1,97 @@
+#include "obs/metrics_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/framing.hpp"
+
+namespace saim::obs {
+
+MetricsServer::MetricsServer(const std::string& host, int port,
+                             std::function<std::string()> producer)
+    : listener_(host, port), producer_(std::move(producer)) {
+  net::ignore_sigpipe_once();  // a scraper may vanish mid-response
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  if (!stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    listener_.close();
+  }
+}
+
+void MetricsServer::loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    const auto fd = listener_.accept_fd();
+    if (!fd) continue;
+    serve_one(*fd);
+    ::close(*fd);
+  }
+}
+
+void MetricsServer::serve_one(int fd) {
+  // Bound every blocking step: a scraper that connects and stalls must
+  // not wedge the serving loop past a beat.
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  // Read until the blank line ending the request head (or EOF, or the
+  // timeout, or an oversized head). The request itself is ignored: every
+  // GET — whatever the path — scrapes the same payload.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 16 * 1024 &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      head.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF, timeout or error: serve what we can anyway
+  }
+
+  std::string body;
+  const char* status = "200 OK";
+  try {
+    body = producer_();
+  } catch (...) {
+    status = "500 Internal Server Error";
+    body = "metrics producer failed\n";
+  }
+  std::string response = "HTTP/1.0 ";
+  response += status;
+  response +=
+      "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) +
+      "\r\nConnection: close\r\n\r\n";
+  response += body;
+
+  std::size_t written = 0;
+  while (written < response.size()) {
+    const ssize_t n =
+        ::write(fd, response.data() + written, response.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // peer gone or send timeout: give up on this scrape
+  }
+}
+
+}  // namespace saim::obs

@@ -1,0 +1,54 @@
+// MetricsServer — the scrape-able `--metrics host:port` endpoint.
+//
+// One background thread polls a net::Listener and serves each accepted
+// connection one-shot, HTTP-ish: read the request head (ignored beyond
+// framing — every path scrapes the same payload), write an HTTP/1.0
+// response carrying the producer's Prometheus text exposition, close.
+// That is exactly what `curl` and a Prometheus scraper need and nothing
+// more: no keep-alive, no routing, no TLS — the endpoint binds loopback
+// by default and trusts its network like the job port does.
+//
+// The producer runs ON THE SERVER THREAD, concurrently with the serving
+// loop — it must be thread-safe (SolveService stats/registry are atomic;
+// single-threaded owners like the shard router publish a pre-rendered
+// snapshot string instead, see tools/saim_shard.cpp).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/listener.hpp"
+
+namespace saim::obs {
+
+class MetricsServer {
+ public:
+  /// Binds and starts serving immediately. Throws std::runtime_error on
+  /// bind failure (net::Listener's diagnostics). Port 0 picks an
+  /// ephemeral port; port() reports the bound one.
+  MetricsServer(const std::string& host, int port,
+                std::function<std::string()> producer);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  [[nodiscard]] int port() const noexcept { return listener_.port(); }
+
+  /// Stops the serving loop and joins the thread. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+ private:
+  void loop();
+  void serve_one(int fd);
+
+  net::Listener listener_;
+  std::function<std::string()> producer_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace saim::obs

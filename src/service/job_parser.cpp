@@ -24,7 +24,7 @@ const std::set<std::string>& known_keys() {
       "gen",        "backend",   "sweeps",        "beta_max",
       "iterations", "eta",       "penalty_alpha", "seed",
       "replicas",   "priority",  "deadline_ms",   "cache",
-      "warm_start"};
+      "warm_start", "trace"};
   return kKnownKeys;
 }
 
@@ -223,6 +223,9 @@ ParsedJob parse_job(const util::JsonValue& job, bool warm_default) {
   if (const auto* warm = job.find("warm_start")) {
     request.warm_start = warm->as_bool(warm_default);
   }
+  if (const auto* trace = job.find("trace")) {
+    request.trace = trace->as_bool(false);
+  }
   request.tag = field_string(job, "id");
   return parsed;
 }
@@ -237,12 +240,13 @@ std::optional<std::string> control_cmd(const util::JsonValue& line) {
   if (!cmd) return std::nullopt;
   const std::string& name = cmd->as_string();
   static const std::set<std::string> kCommands = {
-      "ping", "drain", "shutdown", "export_warm", "import_warm", "reshard"};
+      "ping",        "drain",   "shutdown", "stats",
+      "export_warm", "import_warm", "reshard"};
   if (!kCommands.contains(name)) {
     throw std::runtime_error(
         "unknown control cmd \"" + name +
-        "\" (want ping, drain, shutdown, export_warm, import_warm or "
-        "reshard)");
+        "\" (want ping, drain, shutdown, stats, export_warm, import_warm "
+        "or reshard)");
   }
   const auto& extras = control_extra_keys(name);
   for (const auto& [key, value] : line.object()) {

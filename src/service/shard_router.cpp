@@ -100,8 +100,12 @@ ShardRouter::ShardRouter(RouterOptions options)
   inflight_.resize(options_.shards);
   pong_.assign(options_.shards, false);
   warm_export_.resize(options_.shards);
+  stats_export_.resize(options_.shards);
   stats_.routed_per_shard.assign(options_.shards, 0);
-  for (std::size_t s = 0; s < options_.shards; ++s) ring_.add(s);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    latency_.push_back(std::make_unique<obs::Histogram>());
+    ring_.add(s);
+  }
 }
 
 std::vector<std::string> ShardRouter::accept_line(const std::string& line,
@@ -203,6 +207,7 @@ std::vector<std::string> ShardRouter::take_sendable(std::size_t shard) {
     auto it = jobs_.find(token);
     if (it == jobs_.end()) continue;  // defensive
     it->second.inflight = true;
+    it->second.sent_at = std::chrono::steady_clock::now();
     out.push_back(it->second.line);
     inflight.insert(token);
   }
@@ -232,6 +237,14 @@ std::vector<std::string> ShardRouter::on_child_line(std::size_t shard,
     }
     return out;
   }
+  if (const auto* service = parsed.find("service")) {
+    // Reply to a Supervisor stats probe: stash the shard's own service
+    // snapshot for fleet aggregation; never forwarded downstream.
+    if (shard < stats_export_.size()) {
+      stats_export_[shard] = util::to_json(*service);
+    }
+    return out;
+  }
   // import_warm acks and shutdown farewells are fleet-internal too.
   if (parsed.find("imported") || parsed.find("bye")) return out;
 
@@ -243,6 +256,13 @@ std::vector<std::string> ShardRouter::on_child_line(std::size_t shard,
   const std::string token = id->as_string();
   jobs_.erase(it);
   if (job.shard < inflight_.size()) inflight_[job.shard].erase(token);
+  if (job.shard < latency_.size() &&
+      job.sent_at != std::chrono::steady_clock::time_point{}) {
+    latency_[job.shard]->observe(std::chrono::duration<double, std::milli>(
+                                     std::chrono::steady_clock::now() -
+                                     job.sent_at)
+                                     .count());
+  }
 
   // Byte-level surgery keeps every solver-produced field bit-identical:
   // restore the client's id, remap the per-shard seq to the global
@@ -314,6 +334,7 @@ void ShardRouter::revive_shard(std::size_t shard) {
   alive_[shard] = true;
   pong_[shard] = false;
   warm_export_[shard].reset();
+  stats_export_[shard].reset();
   ring_.add(shard);
 }
 
@@ -324,6 +345,8 @@ std::size_t ShardRouter::add_shard() {
   inflight_.emplace_back();
   pong_.push_back(false);
   warm_export_.emplace_back();
+  stats_export_.emplace_back();
+  latency_.push_back(std::make_unique<obs::Histogram>());
   stats_.routed_per_shard.push_back(0);
   ring_.add(shard);
   return shard;
@@ -360,6 +383,18 @@ std::optional<std::string> ShardRouter::take_warm_export(std::size_t shard) {
   std::optional<std::string> out;
   warm_export_[shard].swap(out);
   return out;
+}
+
+std::optional<std::string> ShardRouter::take_stats_export(std::size_t shard) {
+  if (shard >= stats_export_.size()) return std::nullopt;
+  std::optional<std::string> out;
+  stats_export_[shard].swap(out);
+  return out;
+}
+
+obs::HistogramSnapshot ShardRouter::latency_snapshot(std::size_t shard) const {
+  return shard < latency_.size() ? latency_[shard]->snapshot()
+                                 : obs::HistogramSnapshot{};
 }
 
 bool ShardRouter::alive(std::size_t shard) const {

@@ -44,15 +44,19 @@
 // take_sendable / on_child_line / on_child_down from one thread.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace saim::service {
 
@@ -149,6 +153,17 @@ class ShardRouter {
   /// handoff. Clears on read.
   std::optional<std::string> take_warm_export(std::size_t shard);
 
+  /// The latest {"service":{...}} stats snapshot `shard` sent in reply to
+  /// a Supervisor stats probe, serialized; consumed by the fleet stats
+  /// aggregation. Clears on read.
+  std::optional<std::string> take_stats_export(std::size_t shard);
+
+  /// Round-trip latency histogram of `shard`'s answered jobs (written to
+  /// the child -> result line back, ms). Accumulates across restarts of
+  /// the same slot; empty snapshot for an out-of-range index.
+  [[nodiscard]] obs::HistogramSnapshot latency_snapshot(
+      std::size_t shard) const;
+
   [[nodiscard]] bool alive(std::size_t shard) const;
   [[nodiscard]] std::size_t live_shards() const { return ring_.shard_count(); }
   /// Total slots ever created (live + dead); endpoints index this range.
@@ -176,6 +191,9 @@ class ShardRouter {
     std::uint64_t fingerprint = 0;  ///< routing key (problem content hash)
     std::size_t shard = 0;
     bool inflight = false;
+    /// When the line was handed out for writing (take_sendable); epoch
+    /// until then. Feeds the per-shard round-trip latency histogram.
+    std::chrono::steady_clock::time_point sent_at{};
   };
   struct Drain {
     std::uint64_t before = 0;  ///< waits for jobs with ordinal < before
@@ -194,6 +212,9 @@ class ShardRouter {
   std::vector<std::unordered_set<std::string>> inflight_;
   std::vector<bool> pong_;
   std::vector<std::optional<std::string>> warm_export_;  ///< per shard
+  std::vector<std::optional<std::string>> stats_export_;  ///< per shard
+  /// Per-shard round-trip latency (unique_ptr: atomics are immovable).
+  std::vector<std::unique_ptr<obs::Histogram>> latency_;
   std::unordered_map<std::string, Job> jobs_;  ///< token -> outstanding job
   /// Problem fingerprint per instance-source key: a duplicated-instance
   /// stream builds (and hashes) the instance once, not once per line.

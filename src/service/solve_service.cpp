@@ -27,6 +27,15 @@ struct JobState {
   SolveRequest request;
   util::StopSource stop;
 
+  /// Stage timestamps for JobTiming. submitted_at is set under the
+  /// submit path; claimed_at/solve_started_at are written by the one
+  /// worker that claimed the job and read by the same thread in
+  /// finish() — no synchronization needed. Epoch (default) = the stage
+  /// never happened (e.g. cancelled before a claim).
+  std::chrono::steady_clock::time_point submitted_at{};
+  std::chrono::steady_clock::time_point claimed_at{};
+  std::chrono::steady_clock::time_point solve_started_at{};
+
   /// Set once by the first worker (or shutdown) that claims the job; a
   /// JobState may sit in the queue more than once (a coalescing submit
   /// re-pushes a queued twin at a higher priority band), and this flag is
@@ -136,6 +145,15 @@ std::uint64_t JobHandle::fingerprint() const noexcept {
 
 SolveService::SolveService(ServiceOptions options)
     : options_(options),
+      hist_queue_ms_(registry_.histogram(
+          "saim_job_queue_ms", "submit to worker claim, milliseconds")),
+      hist_setup_ms_(registry_.histogram(
+          "saim_job_setup_ms",
+          "worker claim to solve start (batch drain + model build), ms")),
+      hist_solve_ms_(registry_.histogram(
+          "saim_job_solve_ms", "solve start to job completion, ms")),
+      hist_total_ms_(registry_.histogram(
+          "saim_job_total_ms", "submit to response ready, milliseconds")),
       cache_(options.cache_capacity, options.warm_pool_capacity),
       pool_(options.workers == 0 ? util::hardware_threads()
                                  : options.workers) {
@@ -252,6 +270,7 @@ JobHandle SolveService::submit(SolveRequest request) {
   job->fingerprint = fp;
   job->problem_fp = problem_fp;
   job->batch_key = batch_key_with(problem_fp, request);
+  job->submitted_at = std::chrono::steady_clock::now();
 
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -273,6 +292,14 @@ JobHandle SolveService::submit(SolveRequest request) {
         response->cache_hit = true;
         response->fingerprint = fp;
         response->tag = std::move(request.tag);
+        // A hit runs nothing: every stage is zero except the (tiny)
+        // submit-to-ready total, which still feeds the latency picture.
+        response->finished_at = std::chrono::steady_clock::now();
+        response->timing.total_ms =
+            std::chrono::duration<double, std::milli>(response->finished_at -
+                                                      job->submitted_at)
+                .count();
+        hist_total_ms_.observe(response->timing.total_ms);
         job->response = std::move(response);
         return JobHandle(std::move(job));
       }
@@ -363,6 +390,7 @@ void SolveService::worker_loop() {
     // A job can appear in the queue more than once (priority re-push on
     // coalesce); whoever flips `started` first owns it.
     if (job->started.exchange(true, std::memory_order_acq_rel)) continue;
+    job->claimed_at = std::chrono::steady_clock::now();
 
     // Same-instance batching: pull this job's queued batch-key twins from
     // its own priority band into one shared execution. Budget rules (see
@@ -395,6 +423,7 @@ void SolveService::worker_loop() {
         if (twin->started.exchange(true, std::memory_order_acq_rel)) {
           continue;
         }
+        twin->claimed_at = std::chrono::steady_clock::now();
         members.push_back(std::move(twin));
       }
     }
@@ -452,6 +481,7 @@ void SolveService::execute(const std::shared_ptr<JobState>& job) {
     auto backend = make_backend(request.backend);
     backend->set_batch_threads(options_.backend_batch_threads);
     core::SaimSolver solver(*request.problem, *backend, request.options);
+    job->solve_started_at = std::chrono::steady_clock::now();
     result = std::make_shared<core::SolveResult>(
         solver.solve(request.evaluator, stop));
   } catch (const std::exception& e) {
@@ -538,6 +568,8 @@ void SolveService::execute_batch(
     }
     auto backend = make_backend(members.front()->request.backend);
     backend->set_batch_threads(options_.backend_batch_threads);
+    const auto solve_start = std::chrono::steady_clock::now();
+    for (const auto& member : members) member->solve_started_at = solve_start;
     core::solve_batch(*members.front()->request.problem, *backend,
                       std::move(jobs), finish_member);
   } catch (const std::exception& e) {
@@ -548,7 +580,31 @@ void SolveService::execute_batch(
 }
 
 void SolveService::finish(const std::shared_ptr<JobState>& job,
-                          std::shared_ptr<const SolveResponse> response) {
+                          std::shared_ptr<SolveResponse> response) {
+  // Stamp the stage timings before the response goes const-visible. Epoch
+  // timestamps mean the stage never happened (queued job failed at
+  // shutdown, batch build threw before the solve) — those stages read 0.
+  using float_ms = std::chrono::duration<double, std::milli>;
+  constexpr std::chrono::steady_clock::time_point kEpoch{};
+  const auto now = std::chrono::steady_clock::now();
+  response->finished_at = now;
+  if (job->submitted_at != kEpoch) {
+    response->timing.total_ms = float_ms(now - job->submitted_at).count();
+    hist_total_ms_.observe(response->timing.total_ms);
+  }
+  if (job->claimed_at != kEpoch) {
+    response->timing.queue_ms =
+        float_ms(job->claimed_at - job->submitted_at).count();
+    hist_queue_ms_.observe(response->timing.queue_ms);
+    if (job->solve_started_at != kEpoch) {
+      response->timing.setup_ms =
+          float_ms(job->solve_started_at - job->claimed_at).count();
+      response->timing.solve_ms =
+          float_ms(now - job->solve_started_at).count();
+      hist_setup_ms_.observe(response->timing.setup_ms);
+      hist_solve_ms_.observe(response->timing.solve_ms);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     const auto it = inflight_.find(job->fingerprint);

@@ -42,6 +42,7 @@
 
 #include "core/result.hpp"
 #include "core/saim_solver.hpp"
+#include "obs/metrics.hpp"
 #include "problems/constrained_problem.hpp"
 #include "service/backend_factory.hpp"
 #include "service/job_queue.hpp"
@@ -101,6 +102,21 @@ struct SolveRequest {
   bool warm_start = false;
   /// Echo-through label (job id / instance name); not fingerprinted.
   std::string tag;
+  /// Echo per-stage timing on the result line ("timing" object, see
+  /// docs/PROTOCOL.md). Pure observation — NOT fingerprinted, so traced
+  /// and untraced twins still coalesce and share cache entries.
+  bool trace = false;
+};
+
+/// Per-job stage timing (milliseconds), measured along accept ->
+/// queue-pop -> batch-form/model-build -> solve-start -> solve-end ->
+/// response. All zero for jobs served from the cache (nothing ran) and
+/// for jobs cancelled before a worker claimed them.
+struct JobTiming {
+  double queue_ms = 0.0;  ///< submit -> claimed by a worker
+  double setup_ms = 0.0;  ///< claim -> solve start (batch drain + build)
+  double solve_ms = 0.0;  ///< solve start -> this job's completion
+  double total_ms = 0.0;  ///< submit -> response ready
 };
 
 struct SolveResponse {
@@ -119,6 +135,14 @@ struct SolveResponse {
   bool warm_started = false;
   std::string tag;
   std::string error;  ///< non-empty iff status == kError
+  /// Stage latencies for this job (see JobTiming). Always populated;
+  /// echoed on the wire only when the request set `trace`.
+  JobTiming timing;
+  /// When the response became ready (steady clock) — lets the emitter
+  /// measure completion-to-emission delay without re-deriving submit
+  /// time. Default-constructed (epoch) only for responses built outside
+  /// the service.
+  std::chrono::steady_clock::time_point finished_at{};
 };
 
 namespace detail {
@@ -207,6 +231,24 @@ class SolveService {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Result-cache entry count right now (stats snapshots for the
+  /// {"cmd":"stats"} control line and the metrics endpoint).
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t warm_pool_size() const {
+    return cache_.warm_pool_size();
+  }
+
+  /// This service's metric registry: the per-stage latency histograms
+  /// (saim_job_queue_ms, saim_job_setup_ms, saim_job_solve_ms,
+  /// saim_job_total_ms — all pre-registered) plus whatever the serving
+  /// layer registers alongside (stream_session's saim_emit_ms). Owned
+  /// per service, not process-global, so tests running several services
+  /// in one process never cross streams.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return registry_;
+  }
+
   /// Canonical fingerprint of (problem contents, backend spec, options):
   /// the cache/coalescing key. Exposed for tests and tooling.
   [[nodiscard]] static std::uint64_t request_fingerprint(
@@ -236,8 +278,10 @@ class SolveService {
   /// build + one bind), finishing each member the moment it completes.
   void execute_batch(
       const std::vector<std::shared_ptr<detail::JobState>>& members);
+  /// Stamps the response's timing/finished_at from the job's stage
+  /// timestamps, records the latency histograms, then publishes it.
   void finish(const std::shared_ptr<detail::JobState>& job,
-              std::shared_ptr<const SolveResponse> response);
+              std::shared_ptr<SolveResponse> response);
   void record_outcome(const std::shared_ptr<detail::JobState>& job,
                       const std::shared_ptr<core::SolveResult>& result);
 
@@ -250,6 +294,12 @@ class SolveService {
       const std::shared_ptr<const problems::ConstrainedProblem>& problem);
 
   ServiceOptions options_;
+  obs::MetricsRegistry registry_;
+  /// Pre-registered hot-path handles (see JobTiming for stage bounds).
+  obs::Histogram& hist_queue_ms_;
+  obs::Histogram& hist_setup_ms_;
+  obs::Histogram& hist_solve_ms_;
+  obs::Histogram& hist_total_ms_;
   std::mutex memo_mutex_;
   std::unordered_map<
       const void*,

@@ -14,6 +14,7 @@
 
 #include "core/report.hpp"
 #include "service/job_parser.hpp"
+#include "service/service_stats.hpp"
 
 namespace saim::service {
 
@@ -165,6 +166,7 @@ struct PendingJob {
   std::string backend;
   JobHandle handle;
   std::string error;   ///< submission-time failure; handle invalid
+  bool trace = false;  ///< echo the "timing" object on the result line
   bool drain = false;  ///< {"cmd":"drain"} barrier, not a job
   bool bye = false;    ///< {"cmd":"shutdown"} farewell barrier
   bool export_warm = false;  ///< {"cmd":"export_warm"} snapshot barrier
@@ -179,6 +181,12 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
                                  const SessionOptions& options) {
   SessionResult session_result;
   const bool stream = options.stream;
+
+  // Registered on the service's registry (get-or-create: sessions share
+  // one series) so emit delay rolls up with the solver-side stage
+  // histograms in stats snapshots and metrics scrapes.
+  obs::Histogram& emit_hist = service.metrics().histogram(
+      "saim_emit_ms", "response ready to result line written, milliseconds");
 
   std::int64_t next_seq = 0;
   // Renders (and marks emitted) the result/error line for a FINISHED job.
@@ -196,6 +204,16 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
     }
     const std::int64_t seq = stream ? next_seq++ : -1;
     const auto response = job.handle.wait();  // finished: returns at once
+    // Completion-to-emission delay, recorded for every rendered job (a
+    // responsive emitter is a property of the SESSION, not of traced
+    // jobs). Epoch finished_at = response built outside the service.
+    double emit_ms = 0.0;
+    if (response->finished_at != std::chrono::steady_clock::time_point{}) {
+      emit_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - response->finished_at)
+                    .count();
+      emit_hist.observe(emit_ms);
+    }
     if (response->status == core::Status::kError) {
       session_result.any_error = true;
       util::JsonWriter err;
@@ -212,6 +230,14 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
     context.fingerprint = response->fingerprint;
     context.batch_size = response->batch_size;
     context.warm_started = response->warm_started;
+    if (job.trace) {
+      context.trace = true;
+      context.queue_ms = response->timing.queue_ms;
+      context.setup_ms = response->timing.setup_ms;
+      context.solve_ms = response->timing.solve_ms;
+      context.emit_ms = emit_ms;
+      context.total_ms = response->timing.total_ms;
+    }
     context.seq = seq;
     return core::result_to_jsonl(*response->result, context);
   };
@@ -326,6 +352,19 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
           io.flush();  // a probe's whole point is promptness
           continue;
         }
+        if (*cmd == "stats") {
+          // Snapshot, not a barrier: answered immediately with the
+          // service's CURRENT counters and latency quantiles, like ping.
+          // (saim_shard intercepts this cmd at the front door and
+          // aggregates the whole fleet instead.)
+          util::JsonWriter reply;
+          reply.field("id", pending.id)
+              .raw_field("service", service_stats_json(service));
+          std::lock_guard<std::mutex> lock(out_mutex);
+          io.write_line(reply.str());
+          io.flush();
+          continue;
+        }
         if (*cmd == "import_warm") {
           const auto* warm = parsed.find("warm");
           if (!warm) throw std::runtime_error("import_warm needs \"warm\"");
@@ -362,6 +401,7 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
         job.request.tag = pending.id;
         pending.instance = job.instance;
         pending.backend = job.request.backend.name;
+        pending.trace = job.request.trace;
         pending.handle = service.submit(std::move(job.request));
       }
     } catch (const std::exception& e) {

@@ -17,11 +17,12 @@
 // SolveService. The emitter thread (stream mode) writes results the
 // moment they complete, even while the reader blocks on a slow producer.
 //
-// Control lines handled here: ping, drain, shutdown (stop intake, drain
-// everything accepted, emit {"bye":true}, end the session), export_warm
-// (warm-pool snapshot as {"warm":{...}}), import_warm (deposit exported
-// samples). reshard is the sharding front door's command and is answered
-// with an error line.
+// Control lines handled here: ping, stats (immediate service snapshot:
+// counters, cache stats, latency quantiles — see service_stats.hpp),
+// drain, shutdown (stop intake, drain everything accepted, emit
+// {"bye":true}, end the session), export_warm (warm-pool snapshot as
+// {"warm":{...}}), import_warm (deposit exported samples). reshard is
+// the sharding front door's command and is answered with an error line.
 #pragma once
 
 #include <cstdint>

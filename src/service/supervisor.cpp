@@ -4,7 +4,6 @@
 #include <sys/wait.h>
 
 #include <algorithm>
-#include <cstdio>
 #include <map>
 #include <stdexcept>
 #include <thread>
@@ -12,8 +11,10 @@
 
 #include "net/socket_child.hpp"
 #include "service/process_child.hpp"
+#include "service/service_stats.hpp"
 #include "service/stream_session.hpp"
 #include "util/jsonl.hpp"
+#include "util/logging.hpp"
 
 namespace saim::service {
 
@@ -152,6 +153,15 @@ std::vector<std::string> Supervisor::pump(int poll_ms) {
     if (const auto warm = router_.take_warm_export(s)) {
       forward_warm(s, *warm);
     }
+    if (const auto stats_json = router_.take_stats_export(s)) {
+      // Deliver to the oldest aggregation still waiting on this shard.
+      for (auto& probe : stats_probes_) {
+        if (probe.waiting.erase(s) > 0) {
+          probe.replies[s] = *stats_json;
+          break;
+        }
+      }
+    }
     if (slot.endpoint->eof()) {
       if (slot.retiring) {
         slot.endpoint->reap();
@@ -164,7 +174,95 @@ std::vector<std::string> Supervisor::pump(int poll_ms) {
   }
 
   send_health_pings();
+  advance_stats_probes(&out);
   return out;
+}
+
+void Supervisor::request_fleet_stats(const std::string& reply_id) {
+  StatsProbe probe;
+  probe.reply_id = reply_id;
+  probe.deadline = Clock::now() + std::chrono::milliseconds(2000);
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].endpoint || slots_[s].retiring || !router_.alive(s)) {
+      continue;
+    }
+    slots_[s].endpoint->send_line(R"({"cmd":"stats","id":"_stats)" +
+                                  std::to_string(probe_counter_++) + "\"}");
+    slots_[s].endpoint->pump_writes();
+    probe.waiting.insert(s);
+  }
+  stats_probes_.push_back(std::move(probe));
+}
+
+void Supervisor::advance_stats_probes(std::vector<std::string>* out) {
+  if (stats_probes_.empty()) return;
+  const auto now = Clock::now();
+  for (auto it = stats_probes_.begin(); it != stats_probes_.end();) {
+    // Emit when complete — or at the deadline with whatever arrived: a
+    // wedged shard must not make the whole fleet unobservable.
+    if (it->waiting.empty() || now >= it->deadline) {
+      out->push_back(fleet_stats_line(*it));
+      it = stats_probes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string Supervisor::fleet_stats_line(const StatsProbe& probe) const {
+  const ShardRouter::Stats& rs = router_.stats();
+
+  util::JsonWriter router_json;
+  router_json.field("accepted", rs.accepted)
+      .field("rejected", rs.rejected)
+      .field("emitted", rs.emitted)
+      .field("requeued", rs.requeued)
+      .field("orphaned", rs.orphaned)
+      .field("outstanding", static_cast<std::uint64_t>(router_.outstanding()));
+
+  util::JsonWriter sup;
+  sup.field("respawns", stats_.respawns)
+      .field("remote_reconnects", stats_.remote_reconnects)
+      .field("respawn_failures", stats_.respawn_failures)
+      .field("reshards", stats_.reshards)
+      .field("retired", stats_.retired)
+      .field("warm_forwarded", stats_.warm_forwarded)
+      .field("unresponsive_kills", stats_.unresponsive_kills);
+
+  std::string shards = "[";
+  for (std::size_t s = 0; s < router_.shard_slots(); ++s) {
+    if (s > 0) shards += ",";
+    util::JsonWriter shard;
+    shard.field("shard", static_cast<std::uint64_t>(s))
+        .field("alive", router_.alive(s))
+        .field("local", is_local(s))
+        .field("restarts",
+               s < slots_.size() ? slots_[s].restarts : 0)
+        .field("routed", s < rs.routed_per_shard.size()
+                             ? rs.routed_per_shard[s]
+                             : 0)
+        .field("queue_depth", static_cast<std::uint64_t>(router_.pending(s)))
+        .field("inflight", static_cast<std::uint64_t>(router_.inflight(s)))
+        .raw_field("latency",
+                   latency_quantiles_json(router_.latency_snapshot(s)));
+    const auto reply = probe.replies.find(s);
+    shard.raw_field("service",
+                    reply != probe.replies.end() ? reply->second : "null");
+    shards += shard.str();
+  }
+  shards += "]";
+
+  util::JsonWriter fleet;
+  fleet
+      .field("live_shards", static_cast<std::uint64_t>(router_.live_shards()))
+      .field("shard_slots", static_cast<std::uint64_t>(router_.shard_slots()))
+      .raw_field("router", router_json.str())
+      .raw_field("supervisor", sup.str())
+      .raw_field("shards", shards);
+
+  util::JsonWriter line;
+  line.field("id", probe.reply_id).raw_field("fleet", fleet.str());
+  return line.str();
 }
 
 void Supervisor::on_death(std::size_t s, std::vector<std::string>* out) {
@@ -175,8 +273,7 @@ void Supervisor::on_death(std::size_t s, std::vector<std::string>* out) {
   if (auto* child = dynamic_cast<ProcessChild*>(slot.endpoint.get());
       child && WIFEXITED(child->exit_status()) &&
       WEXITSTATUS(child->exit_status()) == 127) {
-    std::fprintf(stderr,
-                 "saim_shard: shard %zu could not exec its saim_serve\n", s);
+    util::log_error() << "shard " << s << " could not exec its saim_serve";
   }
   slot.endpoint.reset();
   slot.ping_outstanding = false;
@@ -209,16 +306,14 @@ void Supervisor::on_death(std::size_t s, std::vector<std::string>* out) {
     slot.respawn_pending = true;
     slot.respawn_at = now + std::chrono::milliseconds(backoff);
     if (slot.local) {
-      std::fprintf(stderr,
-                   "saim_shard: shard %zu down, respawning in %d ms "
-                   "(attempt %d/%d)\n",
-                   s, backoff, slot.restarts + 1, options_.max_restarts);
+      util::log_warn() << "shard " << s << " down, respawning in " << backoff
+                       << " ms (attempt " << slot.restarts + 1 << "/"
+                       << options_.max_restarts << ")";
     } else {
-      std::fprintf(stderr,
-                   "saim_shard: remote shard %zu (%s:%d) dropped, "
-                   "reconnecting in %d ms (attempt %d/%d)\n",
-                   s, slot.host.c_str(), slot.port, backoff,
-                   slot.restarts + 1, options_.max_restarts);
+      util::log_warn() << "remote shard " << s << " (" << slot.host << ":"
+                       << slot.port << ") dropped, reconnecting in "
+                       << backoff << " ms (attempt " << slot.restarts + 1
+                       << "/" << options_.max_restarts << ")";
     }
     return;
   }
@@ -227,9 +322,8 @@ void Supervisor::on_death(std::size_t s, std::vector<std::string>* out) {
   if (router_.alive(s)) append(out, router_.on_child_down(s));
   if (revivable && slot.want) {
     ++stats_.respawn_failures;
-    std::fprintf(stderr,
-                 "saim_shard: shard %zu abandoned after %d crashes\n", s,
-                 slot.restarts);
+    util::log_error() << "shard " << s << " abandoned after " << slot.restarts
+                      << " crashes";
   }
   slot.want = false;
   slot.respawn_pending = false;
@@ -268,8 +362,11 @@ bool Supervisor::try_respawn(std::size_t s, std::vector<std::string>* out) {
   ++slot.restarts;
   if (slot.local) {
     ++stats_.respawns;
+    util::log_info() << "shard " << s << " respawned";
   } else {
     ++stats_.remote_reconnects;
+    util::log_info() << "remote shard " << s << " reconnected to "
+                     << slot.host << ":" << slot.port;
   }
   if (!router_.alive(s)) {
     router_.revive_shard(s);  // the old keyslice routes back here
@@ -340,8 +437,7 @@ std::size_t Supervisor::reshard(std::size_t target_locals) {
       --needed;
     }
     if (failed_spawns > 0) {
-      std::fprintf(stderr,
-                   "saim_shard: reshard grow stopped short (spawn failed)\n");
+      util::log_warn() << "reshard grow stopped short (spawn failed)";
     }
     request_warm_rebalance();  // new owners inherit their keys' pools
     return desired_locals();

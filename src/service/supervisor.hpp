@@ -46,8 +46,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -115,6 +117,16 @@ class Supervisor {
   /// result lines to emit downstream, in order.
   std::vector<std::string> pump(int poll_ms);
 
+  /// Fleet stats: broadcasts a {"cmd":"stats"} probe to every live shard
+  /// and registers an aggregation keyed by `reply_id`. Once every probed
+  /// shard has answered — or a 2 s deadline passes, whichever is first —
+  /// pump() emits one {"id":reply_id,"fleet":{...}} snapshot line
+  /// downstream: router totals, supervisor counters, and a per-shard
+  /// array with liveness, restart count, queue depth, inflight count,
+  /// round-trip latency quantiles and the shard's own service snapshot
+  /// (null for shards that did not answer in time).
+  void request_fleet_stats(const std::string& reply_id);
+
   /// Live resharding: grow or shrink the LOCAL fleet so that
   /// `target_locals` local shards serve the ring (remote shards are
   /// never touched; target is clamped to >= 1 when no remotes exist).
@@ -161,6 +173,14 @@ class Supervisor {
     bool ping_outstanding = false;
   };
 
+  /// One outstanding request_fleet_stats aggregation.
+  struct StatsProbe {
+    std::string reply_id;
+    std::set<std::size_t> waiting;               ///< shards not yet answered
+    std::map<std::size_t, std::string> replies;  ///< shard -> service JSON
+    std::chrono::steady_clock::time_point deadline;
+  };
+
   void ensure_slot(std::size_t slot);
   /// Handles one observed endpoint death; appends orphan lines to out.
   void on_death(std::size_t slot, std::vector<std::string>* out);
@@ -171,11 +191,15 @@ class Supervisor {
   /// Routes one shard's export to the entries' current owners.
   void forward_warm(std::size_t donor, const std::string& warm_json);
   void send_health_pings();
+  /// Emits every complete (or expired) fleet-stats aggregation.
+  void advance_stats_probes(std::vector<std::string>* out);
+  [[nodiscard]] std::string fleet_stats_line(const StatsProbe& probe) const;
 
   ShardRouter& router_;
   SupervisorOptions options_;
   std::vector<Slot> slots_;
   std::vector<std::string> deferred_out_;
+  std::vector<StatsProbe> stats_probes_;
   std::chrono::steady_clock::time_point last_ping_;
   std::uint64_t probe_counter_ = 0;
   Stats stats_;

@@ -1,6 +1,7 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace saim::util {
@@ -31,11 +32,26 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  // Anchor at the first emitted line (static init is thread-safe), so a
+  // tool's log reads as elapsed seconds from its first event.
+  static const auto t0 = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(stderr, "[%9.3fs] [%s] %s\n", elapsed, level_name(level),
+               message.c_str());
 }
 
 }  // namespace saim::util

@@ -3,6 +3,7 @@
 // tracing convergence (Fig. 3 / Fig. 5 style runs).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -14,7 +15,14 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one line to stderr as "[level] message" if enabled.
+/// "debug"/"info"/"warn"/"error" -> the level (the --log-level flag's
+/// vocabulary); std::nullopt on anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
+/// Emits one line to stderr as "[  12.345s] [level] message" if enabled.
+/// The timestamp is monotonic seconds since the process's first log line
+/// — crash-loop and respawn sequences read as relative timings without
+/// any wall-clock parsing.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

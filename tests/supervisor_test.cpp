@@ -586,5 +586,89 @@ TEST(WarmHandoffProtocol, ExportedPoolImportsIntoASiblingProcess) {
   EXPECT_TRUE(warm_started);
 }
 
+// ------------------------------------------------------------ fleet stats
+
+TEST(SupervisorFleet, FleetStatsAggregatesEveryShardSnapshot) {
+  if (!serve_bin()) GTEST_SKIP() << "saim_serve not built";
+  RouterOptions router_options;
+  router_options.shards = 2;
+  ShardRouter router(router_options);
+  Supervisor supervisor(router, fast_supervisor_options());
+  supervisor.attach_local(0);
+  supervisor.attach_local(1);
+
+  // Run real jobs through both shards so the round-trip latency
+  // histograms and the children's own service counters are non-empty.
+  std::vector<std::string> out;
+  std::size_t line_no = 0;
+  feed_jobs(router, &out, &line_no, 1, 6, 2, 30);
+  for (auto& l : pump_to_idle(router, supervisor)) out.push_back(std::move(l));
+  expect_exactly_once(out, 12);
+
+  supervisor.request_fleet_stats("fs1");
+  std::string fleet_line;
+  for (int spin = 0; spin < 20000 && fleet_line.empty(); ++spin) {
+    for (auto& l : supervisor.pump(2)) {
+      if (l.find("\"fleet\"") != std::string::npos) fleet_line = std::move(l);
+    }
+  }
+  ASSERT_FALSE(fleet_line.empty()) << "no fleet snapshot within the deadline";
+
+  const auto v = util::parse_json(fleet_line);
+  EXPECT_EQ(v.find("id")->as_string(), "fs1");
+  const auto* fleet = v.find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_EQ(fleet->find("live_shards")->as_int(), 2);
+  EXPECT_EQ(fleet->find("shard_slots")->as_int(), 2);
+
+  const auto* router_obj = fleet->find("router");
+  ASSERT_NE(router_obj, nullptr);
+  EXPECT_EQ(router_obj->find("accepted")->as_int(), 12);
+  EXPECT_EQ(router_obj->find("outstanding")->as_int(), 0);
+
+  const auto* sup = fleet->find("supervisor");
+  ASSERT_NE(sup, nullptr);
+  for (const char* key : {"respawns", "remote_reconnects", "respawn_failures",
+                          "reshards", "retired", "warm_forwarded",
+                          "unresponsive_kills"}) {
+    ASSERT_NE(sup->find(key), nullptr) << key;
+  }
+
+  // Per-shard: queue depth, inflight, restart count, latency quantiles,
+  // and the shard's own service snapshot (both answered: no nulls).
+  const auto* shards = fleet->find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->array().size(), 2u);
+  std::uint64_t latency_total = 0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    const auto& shard = shards->array()[s];
+    EXPECT_EQ(shard.find("shard")->as_int(), static_cast<std::int64_t>(s));
+    EXPECT_TRUE(shard.find("alive")->as_bool());
+    EXPECT_TRUE(shard.find("local")->as_bool());
+    EXPECT_EQ(shard.find("restarts")->as_int(), 0);
+    EXPECT_EQ(shard.find("queue_depth")->as_int(), 0);
+    EXPECT_EQ(shard.find("inflight")->as_int(), 0);
+
+    const auto* latency = shard.find("latency");
+    ASSERT_NE(latency, nullptr);
+    latency_total += static_cast<std::uint64_t>(
+        latency->find("count")->as_int());
+    EXPECT_GE(latency->find("p99_ms")->as_double(),
+              latency->find("p50_ms")->as_double());
+
+    const auto* service = shard.find("service");
+    ASSERT_NE(service, nullptr);
+    ASSERT_FALSE(service->is_null())
+        << "both live shards must answer the stats probe";
+    EXPECT_GE(service->find("completed")->as_int(), 1);
+    ASSERT_NE(service->find("cache"), nullptr);
+    EXPECT_NE(service->find("cache")->find("hit_rate"), nullptr);
+  }
+  EXPECT_EQ(latency_total, 12u)
+      << "every answered job must land in some shard's latency histogram";
+
+  supervisor.shutdown_fleet();
+}
+
 }  // namespace
 }  // namespace saim::service

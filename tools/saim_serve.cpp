@@ -27,8 +27,12 @@
 // completes, tagged with a per-session "seq" in completion order.
 //
 // Control lines (docs/PROTOCOL.md): ping, drain, shutdown (drain +
-// {"bye":true}; also stops a --listen server), export_warm/import_warm
-// (warm-pool handoff between processes).
+// {"bye":true}; also stops a --listen server), stats (one
+// {"id":...,"service":{...}} snapshot: counters, cache/warm-pool state,
+// per-stage latency quantiles), export_warm/import_warm (warm-pool
+// handoff between processes). --metrics host:port serves the same
+// service state as a Prometheus text-format scrape; jobs with
+// "trace":true get a per-stage "timing" object on their result line.
 //
 // Example:
 //   printf '%s\n' '{"id":"a","gen":"qkp:60-25-1","iterations":100}' \
@@ -56,9 +60,12 @@
 
 #include "net/connection.hpp"
 #include "net/listener.hpp"
+#include "obs/metrics_server.hpp"
+#include "service/service_stats.hpp"
 #include "service/solve_service.hpp"
 #include "service/stream_session.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -72,8 +79,8 @@ int serve_listen(service::SolveService& svc,
                  const std::string& port_file) {
   const auto hostport = net::parse_hostport(listen_spec);
   if (!hostport) {
-    std::fprintf(stderr, "saim_serve: bad --listen '%s' (want host:port)\n",
-                 listen_spec.c_str());
+    util::log_error() << "saim_serve: bad --listen '" << listen_spec
+                      << "' (want host:port)";
     return 2;
   }
   std::unique_ptr<net::Listener> listener;
@@ -81,7 +88,7 @@ int serve_listen(service::SolveService& svc,
     listener = std::make_unique<net::Listener>(hostport->host,
                                                hostport->port);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "saim_serve: %s\n", e.what());
+    util::log_error() << "saim_serve: " << e.what();
     return 2;
   }
   if (!port_file.empty()) {
@@ -89,14 +96,13 @@ int serve_listen(service::SolveService& svc,
     // atomically enough for a single int — readers poll until nonempty.
     std::ofstream pf(port_file);
     if (!pf) {
-      std::fprintf(stderr, "saim_serve: cannot write '%s'\n",
-                   port_file.c_str());
+      util::log_error() << "saim_serve: cannot write '" << port_file << "'";
       return 2;
     }
     pf << listener->port() << "\n";
   }
-  std::fprintf(stderr, "saim_serve: listening on %s:%d\n",
-               hostport->host.c_str(), listener->port());
+  util::log_info() << "saim_serve: listening on " << hostport->host << ":"
+                   << listener->port();
 
   std::atomic<bool> stop{false};
   std::atomic<bool> any_error{false};
@@ -194,8 +200,28 @@ int main(int argc, char** argv) {
       .add_bool("stream",
                 "emit result lines as jobs finish (tagged with \"seq\") "
                 "instead of in input order after EOF")
+      .add_flag("metrics",
+                "serve Prometheus text-format metrics on host:port "
+                "(port 0 picks an ephemeral port)",
+                "")
+      .add_flag("metrics-port-file",
+                "write the bound --metrics port to this file (rendezvous "
+                "for port 0)",
+                "")
+      .add_flag("log-level", "stderr log threshold: debug, info, warn or "
+                "error", "info")
       .add_bool("stats", "append a final summary line to stderr");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+
+  const auto log_level = util::parse_log_level(args.get("log-level"));
+  if (!log_level) {
+    std::fprintf(stderr,
+                 "saim_serve: bad --log-level '%s' (want debug, info, warn "
+                 "or error)\n",
+                 args.get("log-level").c_str());
+    return 2;
+  }
+  util::set_log_level(*log_level);
 
   service::ServiceOptions service_options;
   // Negative values would wrap to huge size_t counts; clamp to the
@@ -207,6 +233,40 @@ int main(int argc, char** argv) {
   service_options.max_batch = static_cast<std::size_t>(
       std::max<std::int64_t>(1, args.get_int("max-batch")));
   service::SolveService svc(service_options);
+
+  // --metrics: a scrape thread rendering straight off the service — its
+  // stats struct and metrics registry are atomic, so the producer is safe
+  // to run concurrently with every session thread.
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  const std::string metrics_spec = args.get("metrics");
+  if (!metrics_spec.empty()) {
+    const auto hostport = net::parse_hostport(metrics_spec);
+    if (!hostport) {
+      util::log_error() << "saim_serve: bad --metrics '" << metrics_spec
+                        << "' (want host:port)";
+      return 2;
+    }
+    try {
+      metrics_server = std::make_unique<obs::MetricsServer>(
+          hostport->host, hostport->port,
+          [&svc] { return service::service_metrics_prometheus(svc); });
+    } catch (const std::exception& e) {
+      util::log_error() << "saim_serve: " << e.what();
+      return 2;
+    }
+    const std::string metrics_port_file = args.get("metrics-port-file");
+    if (!metrics_port_file.empty()) {
+      std::ofstream pf(metrics_port_file);
+      if (!pf) {
+        util::log_error() << "saim_serve: cannot write '" << metrics_port_file
+                          << "'";
+        return 2;
+      }
+      pf << metrics_server->port() << "\n";
+    }
+    util::log_info() << "saim_serve: metrics on " << hostport->host << ":"
+                     << metrics_server->port();
+  }
 
   service::SessionOptions session_options;
   session_options.stream = args.get_bool("stream");
@@ -222,7 +282,7 @@ int main(int argc, char** argv) {
     if (input != "-") {
       file_in.open(input);
       if (!file_in) {
-        std::fprintf(stderr, "saim_serve: cannot open '%s'\n", input.c_str());
+        util::log_error() << "saim_serve: cannot open '" << input << "'";
         return 2;
       }
     }
@@ -233,8 +293,7 @@ int main(int argc, char** argv) {
     if (output != "-") {
       file_out.open(output);
       if (!file_out) {
-        std::fprintf(stderr, "saim_serve: cannot open '%s'\n",
-                     output.c_str());
+        util::log_error() << "saim_serve: cannot open '" << output << "'";
         return 2;
       }
     }

@@ -24,6 +24,13 @@
 //     and rejoins the ring (its unanswered jobs fail over to survivors
 //     first — zero lost jobs; with no survivor they are held and replay
 //     into the replacement). Dead remote shards fail over and stay gone;
+//   * {"cmd":"stats"} probes every live shard and answers with ONE
+//     {"id":...,"fleet":{...}} snapshot line: router totals, supervisor
+//     counters, and a per-shard array (queue depth, inflight, restarts,
+//     round-trip latency quantiles, the shard's own service snapshot);
+//     --metrics host:port additionally serves a Prometheus text-format
+//     scrape of the same router/supervisor state (docs/ARCHITECTURE.md,
+//     "Observability");
 //   * {"cmd":"reshard","shards":N} grows/shrinks the local fleet live;
 //     {"cmd":"shutdown"} (or Ctrl-C / SIGTERM) stops intake, drains
 //     every accepted job, answers {"bye":true}, and tears the fleet down
@@ -56,11 +63,14 @@
 #include <unistd.h>
 
 #include "net/connection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_server.hpp"
 #include "service/job_parser.hpp"
 #include "service/shard_router.hpp"
 #include "service/supervisor.hpp"
 #include "util/cli.hpp"
 #include "util/jsonl.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -102,6 +112,96 @@ bool executable_exists(const std::string& serve) {
   return false;
 }
 
+/// One shard's label set, e.g. `shard="3"`.
+std::string shard_label(std::size_t s) {
+  return "shard=\"" + std::to_string(s) + "\"";
+}
+
+/// Prometheus exposition of the router/supervisor state. Runs on the MAIN
+/// thread only (both owners are single-threaded); the MetricsServer thread
+/// serves the latest pre-rendered copy published under a mutex.
+std::string render_fleet_metrics(const service::ShardRouter& router,
+                                 const service::Supervisor& supervisor) {
+  obs::PromText text;
+  const auto& rs = router.stats();
+  const auto& sup = supervisor.stats();
+  const auto counter = [&text](std::string_view name, std::uint64_t value,
+                               std::string_view help) {
+    text.header(name, "counter", help);
+    text.series(name, {}, value);
+  };
+  counter("saim_router_accepted_total", rs.accepted,
+          "jobs routed onto the ring");
+  counter("saim_router_rejected_total", rs.rejected,
+          "lines rejected by the front door (bad input)");
+  counter("saim_router_emitted_total", rs.emitted,
+          "job result/error lines sent downstream");
+  counter("saim_router_requeued_total", rs.requeued,
+          "jobs moved off a dead shard");
+  counter("saim_router_orphaned_total", rs.orphaned,
+          "jobs errored because no live shard remained");
+  counter("saim_supervisor_respawns_total", sup.respawns,
+          "successful local shard re-execs");
+  counter("saim_supervisor_remote_reconnects_total", sup.remote_reconnects,
+          "successful remote shard redials");
+  counter("saim_supervisor_respawn_failures_total", sup.respawn_failures,
+          "shard slots abandoned after max restarts");
+  counter("saim_supervisor_reshards_total", sup.reshards,
+          "live fleet membership changes");
+  counter("saim_supervisor_retired_total", sup.retired,
+          "shards removed by a shrink");
+  counter("saim_supervisor_warm_forwarded_total", sup.warm_forwarded,
+          "warm-pool entries moved to a new owner");
+  counter("saim_supervisor_unresponsive_kills_total", sup.unresponsive_kills,
+          "shards terminated by the health watchdog");
+
+  text.header("saim_shards_live", "gauge", "shard slots currently on the ring");
+  text.series("saim_shards_live", {},
+              static_cast<std::uint64_t>(router.live_shards()));
+  text.header("saim_shard_slots", "gauge",
+              "shard slots ever created (live + dead)");
+  text.series("saim_shard_slots", {},
+              static_cast<std::uint64_t>(router.shard_slots()));
+  text.header("saim_router_outstanding", "gauge",
+              "jobs accepted but not yet answered");
+  text.series("saim_router_outstanding", {},
+              static_cast<std::uint64_t>(router.outstanding()));
+
+  const std::size_t slots = router.shard_slots();
+  text.header("saim_shard_alive", "gauge", "1 while the slot is on the ring");
+  for (std::size_t s = 0; s < slots; ++s) {
+    text.series("saim_shard_alive", shard_label(s),
+                static_cast<std::uint64_t>(router.alive(s) ? 1 : 0));
+  }
+  text.header("saim_shard_queue_depth", "gauge",
+              "jobs routed to the shard, not yet written");
+  for (std::size_t s = 0; s < slots; ++s) {
+    text.series("saim_shard_queue_depth", shard_label(s),
+                static_cast<std::uint64_t>(router.pending(s)));
+  }
+  text.header("saim_shard_inflight", "gauge",
+              "jobs written to the shard, awaiting a result");
+  for (std::size_t s = 0; s < slots; ++s) {
+    text.series("saim_shard_inflight", shard_label(s),
+                static_cast<std::uint64_t>(router.inflight(s)));
+  }
+  text.header("saim_shard_routed_total", "counter",
+              "jobs ever routed to the shard");
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::uint64_t routed =
+        s < rs.routed_per_shard.size() ? rs.routed_per_shard[s] : 0;
+    text.series("saim_shard_routed_total", shard_label(s), routed);
+  }
+  text.header("saim_shard_roundtrip_ms", "histogram",
+              "job written to the shard until its result line came back, "
+              "milliseconds");
+  for (std::size_t s = 0; s < slots; ++s) {
+    text.histogram_series("saim_shard_roundtrip_ms", shard_label(s),
+                          router.latency_snapshot(s));
+  }
+  return text.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,8 +237,28 @@ int main(int argc, char** argv) {
                 "consecutive crashes before a local shard slot is "
                 "abandoned",
                 "5")
+      .add_flag("metrics",
+                "serve Prometheus text-format metrics on host:port "
+                "(port 0 picks an ephemeral port)",
+                "")
+      .add_flag("metrics-port-file",
+                "write the bound --metrics port to this file (rendezvous "
+                "for port 0)",
+                "")
+      .add_flag("log-level", "stderr log threshold: debug, info, warn or "
+                "error", "info")
       .add_bool("stats", "per-shard routing summary on stderr at exit");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+
+  const auto log_level = util::parse_log_level(args.get("log-level"));
+  if (!log_level) {
+    std::fprintf(stderr,
+                 "saim_shard: bad --log-level '%s' (want debug, info, warn "
+                 "or error)\n",
+                 args.get("log-level").c_str());
+    return 2;
+  }
+  util::set_log_level(*log_level);
 
   const auto nonneg = [&](const char* flag) {
     return static_cast<std::size_t>(
@@ -150,8 +270,8 @@ int main(int argc, char** argv) {
   for (const auto& spec : args.get_all("connect")) {
     const auto hostport = net::parse_hostport(spec);
     if (!hostport) {
-      std::fprintf(stderr, "saim_shard: bad --connect '%s' (want host:port)\n",
-                   spec.c_str());
+      util::log_error() << "saim_shard: bad --connect '" << spec
+                        << "' (want host:port)";
       return 2;
     }
     remotes.push_back(*hostport);
@@ -166,7 +286,7 @@ int main(int argc, char** argv) {
   std::string serve = args.get("serve");
   if (serve.empty()) serve = sibling_serve_path(argv[0]);
   if (locals > 0 && !executable_exists(serve)) {
-    std::fprintf(stderr, "saim_shard: cannot execute '%s'\n", serve.c_str());
+    util::log_error() << "saim_shard: cannot execute '" << serve << "'";
     return 2;
   }
 
@@ -175,7 +295,7 @@ int main(int argc, char** argv) {
   if (input != "-") {
     file_in.open(input);
     if (!file_in) {
-      std::fprintf(stderr, "saim_shard: cannot open '%s'\n", input.c_str());
+      util::log_error() << "saim_shard: cannot open '" << input << "'";
       return 2;
     }
   }
@@ -186,7 +306,7 @@ int main(int argc, char** argv) {
   if (output != "-") {
     file_out.open(output);
     if (!file_out) {
-      std::fprintf(stderr, "saim_shard: cannot open '%s'\n", output.c_str());
+      util::log_error() << "saim_shard: cannot open '" << output << "'";
       return 2;
     }
   }
@@ -216,9 +336,48 @@ int main(int argc, char** argv) {
     try {
       supervisor.attach_remote(locals + i, remotes[i].host, remotes[i].port);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "saim_shard: %s\n", e.what());
+      util::log_error() << "saim_shard: " << e.what();
       return 2;
     }
+  }
+
+  // --metrics: one background scrape thread serving the latest
+  // pre-rendered exposition. The router and supervisor are single-threaded
+  // (owned by this loop), so the server never reads them directly — the
+  // loop republishes `metrics_payload` under the mutex every ~250 ms.
+  std::mutex metrics_mutex;
+  std::string metrics_payload = render_fleet_metrics(router, supervisor);
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  const std::string metrics_spec = args.get("metrics");
+  if (!metrics_spec.empty()) {
+    const auto hostport = net::parse_hostport(metrics_spec);
+    if (!hostport) {
+      util::log_error() << "saim_shard: bad --metrics '" << metrics_spec
+                        << "' (want host:port)";
+      return 2;
+    }
+    try {
+      metrics_server = std::make_unique<obs::MetricsServer>(
+          hostport->host, hostport->port, [&metrics_mutex, &metrics_payload] {
+            std::lock_guard<std::mutex> lock(metrics_mutex);
+            return metrics_payload;
+          });
+    } catch (const std::exception& e) {
+      util::log_error() << "saim_shard: " << e.what();
+      return 2;
+    }
+    const std::string metrics_port_file = args.get("metrics-port-file");
+    if (!metrics_port_file.empty()) {
+      std::ofstream pf(metrics_port_file);
+      if (!pf) {
+        util::log_error() << "saim_shard: cannot write '" << metrics_port_file
+                          << "'";
+        return 2;
+      }
+      pf << metrics_server->port() << "\n";
+    }
+    util::log_info() << "metrics on " << hostport->host << ":"
+                     << metrics_server->port();
   }
 
   // Ctrl-C / SIGTERM turn into a graceful shutdown: stop intake, drain
@@ -266,10 +425,22 @@ int main(int argc, char** argv) {
   bool saw_shutdown_cmd = false;
 
   std::size_t line_no = 0;
+  auto next_metrics_refresh = std::chrono::steady_clock::now();
   for (;;) {
     if (g_signal && intake_open) {
       intake_open = false;  // drain what was accepted, then leave
-      std::fprintf(stderr, "saim_shard: signal received, draining\n");
+      util::log_info() << "signal received, draining";
+    }
+
+    if (metrics_server &&
+        std::chrono::steady_clock::now() >= next_metrics_refresh) {
+      std::string rendered = render_fleet_metrics(router, supervisor);
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex);
+        metrics_payload = std::move(rendered);
+      }
+      next_metrics_refresh =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
     }
 
     // Ingest as much input as backpressure allows, intercepting the
@@ -327,6 +498,13 @@ int main(int argc, char** argv) {
             emit({ack.str()});
             continue;
           }
+          if (cmd && *cmd == "stats") {
+            // Fleet snapshot: the supervisor probes every live shard and a
+            // later pump() emits one {"id":...,"fleet":{...}} line once all
+            // replies land (or the 2 s deadline passes).
+            supervisor.request_fleet_stats(cmd_id);
+            continue;
+          }
           if (cmd && (*cmd == "export_warm" || *cmd == "import_warm")) {
             throw std::runtime_error(
                 "control cmd \"" + *cmd +
@@ -363,39 +541,35 @@ int main(int argc, char** argv) {
 
   // Graceful fleet teardown: shutdown control lines + stdin EOF, wait for
   // the children's own exits, reap — SIGKILL only on an overstay.
+  metrics_server.reset();  // last scrape before the fleet state goes away
   supervisor.shutdown_fleet();
   emit(supervisor.drain_deferred());
   out.flush();
 
-  if (args.get_bool("stats")) {
+  // Shutdown summary, always (Info level): the supervisor's respawn /
+  // reconnect / abandonment counts are the operator's only post-mortem
+  // when a fleet limped. --stats adds the per-shard routing breakdown.
+  {
     const auto& s = router.stats();
     const auto& sup = supervisor.stats();
-    std::fprintf(stderr,
-                 "saim_shard: %llu accepted, %llu emitted, %llu rejected, "
-                 "%llu requeued, %llu orphaned, %zu/%zu shards alive\n",
-                 static_cast<unsigned long long>(s.accepted),
-                 static_cast<unsigned long long>(s.emitted),
-                 static_cast<unsigned long long>(s.rejected),
-                 static_cast<unsigned long long>(s.requeued),
-                 static_cast<unsigned long long>(s.orphaned),
-                 router.live_shards(), router.shard_slots());
-    std::fprintf(stderr,
-                 "saim_shard: supervisor: %llu respawns, "
-                 "%llu remote reconnects, %llu abandoned, "
-                 "%llu reshards, %llu retired, %llu warm entries forwarded, "
-                 "%llu unresponsive kills\n",
-                 static_cast<unsigned long long>(sup.respawns),
-                 static_cast<unsigned long long>(sup.remote_reconnects),
-                 static_cast<unsigned long long>(sup.respawn_failures),
-                 static_cast<unsigned long long>(sup.reshards),
-                 static_cast<unsigned long long>(sup.retired),
-                 static_cast<unsigned long long>(sup.warm_forwarded),
-                 static_cast<unsigned long long>(sup.unresponsive_kills));
-    for (std::size_t i = 0; i < s.routed_per_shard.size(); ++i) {
-      std::fprintf(stderr, "  shard %zu: %llu jobs routed%s%s\n", i,
-                   static_cast<unsigned long long>(s.routed_per_shard[i]),
-                   router.alive(i) ? "" : " (down)",
-                   supervisor.is_local(i) ? "" : " (remote)");
+    util::log_info() << "saim_shard: " << s.accepted << " accepted, "
+                     << s.emitted << " emitted, " << s.rejected
+                     << " rejected, " << s.requeued << " requeued, "
+                     << s.orphaned << " orphaned, " << router.live_shards()
+                     << "/" << router.shard_slots() << " shards alive";
+    util::log_info() << "saim_shard: supervisor: " << sup.respawns
+                     << " respawns, " << sup.remote_reconnects
+                     << " remote reconnects, " << sup.respawn_failures
+                     << " respawn failures, " << sup.reshards << " reshards, "
+                     << sup.retired << " retired, " << sup.warm_forwarded
+                     << " warm entries forwarded, " << sup.unresponsive_kills
+                     << " unresponsive kills";
+    if (args.get_bool("stats")) {
+      for (std::size_t i = 0; i < s.routed_per_shard.size(); ++i) {
+        util::log_info() << "  shard " << i << ": " << s.routed_per_shard[i]
+                         << " jobs routed" << (router.alive(i) ? "" : " (down)")
+                         << (supervisor.is_local(i) ? "" : " (remote)");
+      }
     }
   }
 
