@@ -6,8 +6,9 @@
 #   * response-side: every .field("...")/.raw_field("...") name in the
 #     JSONL emitters (core/report.cpp's result_to_jsonl, the stream
 #     session's result/control/barrier lines, the shard router's
-#     rewritten/error lines, the supervisor's fleet control lines, and
-#     whatever the tools emit themselves),
+#     rewritten/error lines, the supervisor's fleet control lines, the
+#     socket dialer's auth handshake, and whatever the tools emit
+#     themselves),
 #   * request-side: the kKnownKeys job whitelist and the kControlKeys
 #     control-line whitelist in src/service/job_parser.cpp —
 # and fails when any name is missing from the doc (backtick-quoted, so a
@@ -25,7 +26,8 @@ fi
 emitted=$(grep -hoE '\.(raw_)?field\("[a-z_]+"' \
             src/core/report.cpp tools/saim_serve.cpp tools/saim_shard.cpp \
             src/service/shard_router.cpp src/service/stream_session.cpp \
-            src/service/supervisor.cpp src/service/service_stats.cpp |
+            src/service/supervisor.cpp src/service/service_stats.cpp \
+            src/net/socket_child.cpp |
           grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
 accepted=$(awk '/kKnownKeys = \{/,/\};/' src/service/job_parser.cpp |
            grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)

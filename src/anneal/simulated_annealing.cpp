@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ising/local_field.hpp"
+#include "util/accept_bounds.hpp"
 
 namespace saim::anneal {
 
@@ -39,7 +40,13 @@ RunResult MetropolisSa::run_from(ising::Spins start,
     const double beta = schedule.beta(t, options.sweeps);
     for (std::size_t i = 0; i < n; ++i) {
       const double delta = lfs.flip_delta(result.last, i);
-      if (delta <= 0.0 || rng.uniform01() < std::exp(-beta * delta)) {
+      // Tiered acceptance: bit-identical to u < std::exp(-beta*delta) but
+      // ~all visits decide from u's exponent / the exp bounds without a
+      // libm call (the bit-sliced engine's test, scalar lane). The
+      // short-circuit keeps the RNG stream unchanged: a draw happens only
+      // when delta > 0.
+      if (delta <= 0.0 ||
+          util::exp_accept(rng.uniform01(), -beta * delta)) {
         lfs.flip(result.last, i);
       }
     }

@@ -91,11 +91,15 @@ inline F64x4 biased_exponent(F64x4 u01) noexcept {
 //   * pbit: for |x| >= kTanhSaturated, |tanh(x)| lies in [1 - 2^-48, 1],
 //     so sign(tanh(x) + u) is sign(x) for every |u| < 1 - 2^-48; only
 //     draws in the 2^-48-wide ambiguous band consult libm.
-constexpr double kLog2e = 0x1.71547652b82fep+0;
-constexpr double kTier1Accept = 1022.0 - 1e-9;
-constexpr double kTier1Reject = 1023.0 + 1e-9;
-constexpr double kTanhSaturated = 20.0;
-constexpr double kTanhSatMargin = 1.0 - 0x1.0p-48;
+// Shared with the scalar engines' exp_accept/tanh_sign_nonneg (see
+// util/accept_bounds.hpp): one set of tier constants means MetropolisSa,
+// PBitMachine and these word-parallel sweeps all decide via the same
+// tiered bound path.
+constexpr double kLog2e = util::accept_detail::kLog2e;
+constexpr double kTier1Accept = util::accept_detail::kTier1Accept;
+constexpr double kTier1Reject = util::accept_detail::kTier1Reject;
+constexpr double kTanhSaturated = util::accept_detail::kTanhSat;
+constexpr double kTanhSatMargin = util::accept_detail::kTanhSatLo;
 
 /// Pushes ±2*J_ij onto the flipped lanes of chunk plane `cplane` for every
 /// neighbor of spin i. `sgn` carries the sign bit of each lane's NEW spin

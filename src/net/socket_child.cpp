@@ -2,12 +2,23 @@
 
 #include <utility>
 
+#include "util/jsonl.hpp"
+
 namespace saim::net {
 
-SocketChild::SocketChild(std::string host, int port)
+SocketChild::SocketChild(std::string host, int port, std::string auth_token)
     : host_(std::move(host)),
       port_(port),
-      connection_(connect_to(host_, port_)) {}
+      connection_(connect_to(host_, port_)) {
+  if (!auth_token.empty()) {
+    // The handshake must be the first line on the wire, ahead of any job
+    // the caller queues; the server reads it before creating a session.
+    util::JsonWriter hello;
+    hello.field("auth", auth_token);
+    connection_.send_line(hello.str());
+    connection_.pump_writes();
+  }
+}
 
 void SocketChild::send_line(const std::string& line) {
   connection_.send_line(line);

@@ -25,8 +25,11 @@ namespace saim::net {
 class SocketChild : public ShardEndpoint {
  public:
   /// Connects to host:port. Throws std::runtime_error (with the endpoint
-  /// in the message) when the connection cannot be established.
-  SocketChild(std::string host, int port);
+  /// in the message) when the connection cannot be established. A
+  /// non-empty `auth_token` is presented as the session's first line
+  /// ({"auth":"..."}) — required by servers started with --auth-token,
+  /// which close unauthenticated sessions before reading any job.
+  SocketChild(std::string host, int port, std::string auth_token = "");
 
   void send_line(const std::string& line) override;
   bool pump_writes() override;

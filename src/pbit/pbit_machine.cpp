@@ -4,6 +4,8 @@
 #include <numeric>
 #include <utility>
 
+#include "util/accept_bounds.hpp"
+
 namespace saim::pbit {
 
 PBitMachine::PBitMachine(const ising::IsingModel& model)
@@ -25,11 +27,15 @@ void PBitMachine::sweep(ising::Spins& m, ising::LocalFieldState& lfs,
 
   auto update_one = [&](std::size_t i) {
     const double in = lfs.field(i);
-    // m_i = sign(tanh(beta*I_i) + U(-1,1)): +1 with prob (1+tanh)/2.
-    const double activation = std::tanh(beta * in);
+    // m_i = sign(tanh(beta*I_i) + U(-1,1)): +1 with prob (1+tanh)/2. The
+    // tiered sign test is bit-identical to calling std::tanh every visit
+    // but saturation/bounds decide ~all draws without libm (the
+    // bit-sliced engine's test, scalar lane); one uniform_sym draw per
+    // visit, as before.
     const std::int8_t next =
-        (activation + rng.uniform_sym()) >= 0.0 ? std::int8_t{1}
-                                                : std::int8_t{-1};
+        util::tanh_sign_nonneg(beta * in, rng.uniform_sym())
+            ? std::int8_t{1}
+            : std::int8_t{-1};
     if (next != m[i]) {
       lfs.flip(m, i);
     }

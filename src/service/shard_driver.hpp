@@ -38,6 +38,11 @@ inline std::vector<std::string> pump_shards(
     std::vector<std::unique_ptr<net::ShardEndpoint>>& shards, int poll_ms) {
   std::vector<std::string> out;
 
+  // Hedge pass: queue a replica copy of any job stuck in flight past its
+  // shard's adaptive threshold (no-op unless hedging is configured), so
+  // the send step below writes the copies in the same cycle.
+  router.dispatch_hedges();
+
   // Send: fill each live shard's in-flight window, then flush.
   for (std::size_t s = 0; s < shards.size(); ++s) {
     if (!shards[s] || !router.alive(s)) continue;

@@ -44,6 +44,26 @@ std::size_t HashRing::route(std::uint64_t key) const {
   return it == ring_.end() ? ring_.begin()->second : it->second;
 }
 
+std::vector<std::size_t> HashRing::replicas(std::uint64_t key,
+                                            std::size_t count) const {
+  if (ring_.empty()) throw std::runtime_error("no live shards");
+  count = std::max<std::size_t>(1, std::min(count, shards_.size()));
+  std::vector<std::size_t> members;
+  members.reserve(count);
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();
+  // A full lap visits every live shard at least once, so this terminates
+  // with exactly `count` distinct members.
+  while (members.size() < count) {
+    if (std::find(members.begin(), members.end(), it->second) ==
+        members.end()) {
+      members.push_back(it->second);
+    }
+    if (++it == ring_.end()) it = ring_.begin();
+  }
+  return members;
+}
+
 // ----------------------------------------------------------------- router
 
 namespace {
@@ -66,6 +86,17 @@ void restore_id(std::string* line, const std::string& token,
   if (pos == std::string::npos) return;  // defensive: emit unrestored
   line->replace(pos, needle.size(),
                 "\"id\":\"" + util::json_escape(display_id) + "\"");
+}
+
+/// The job's priority band for admission-control ranking. The line was
+/// already validated, so anything but the known strings is "normal".
+int priority_band(const util::JsonValue& job) {
+  const auto* priority = job.find("priority");
+  if (!priority) return 1;
+  const std::string p = priority->as_string();
+  if (p == "low") return 0;
+  if (p == "high") return 2;
+  return 1;
 }
 
 /// Rewrites the trailing per-shard `"seq":N` (always the last field on
@@ -152,10 +183,12 @@ std::vector<std::string> ShardRouter::accept_line(const std::string& line,
     // accepted stats stay truthful.
     const std::string source = instance_source_key(parsed);
     std::uint64_t fingerprint = 0;
+    bool twin = false;  // an instance seen before: replicas can cache-hit
     const auto memo = fingerprint_memo_.find(source);
     if (!source.empty() && memo != fingerprint_memo_.end()) {
       validate_job(parsed);
       fingerprint = memo->second;
+      twin = true;
     } else {
       const ParsedJob job = parse_job(parsed, /*warm_default=*/false);
       fingerprint = problems::fingerprint(*job.request.problem);
@@ -170,13 +203,53 @@ std::vector<std::string> ShardRouter::accept_line(const std::string& line,
       }
     }
 
+    // Admission control: past the global pending bound, someone gets shed
+    // with a "delayed"-tagged error — the lowest-priority pending job if
+    // the incoming one outranks it, the incoming job otherwise. Shedding
+    // happens BEFORE the job is accepted, so a shed incoming job never
+    // gets an ordinal or a seq (it was never accepted), while a shed
+    // victim keeps its seq: accepted jobs still see the contiguous range.
+    const int priority = priority_band(parsed);
+    if (options_.max_queue_depth > 0 &&
+        total_pending() >= options_.max_queue_depth &&
+        !shed_for(priority, &out)) {
+      ++stats_.sheds;
+      any_error_ = true;
+      util::JsonWriter err;
+      err.field("id", display_id)
+          .field("error", "shed by admission control: " +
+                              std::to_string(total_pending()) +
+                              " jobs already queued (bound " +
+                              std::to_string(options_.max_queue_depth) +
+                              "); resubmit when the backlog drains")
+          .field("delayed", true);
+      out.push_back(err.str());
+      return out;
+    }
+
     // Rewrite the id to a unique routing token; everything else in the
     // line is forwarded as parsed.
     Job job;
     job.ordinal = next_ordinal_++;
     job.display_id = std::move(display_id);
     job.fingerprint = fingerprint;
+    job.priority = priority;
     job.shard = ring_.route(fingerprint);
+    if (twin && options_.replicas > 1 && options_.hot_key_depth > 0 &&
+        depth(job.shard) >= options_.hot_key_depth) {
+      // Hot-key route: the owner is saturated and this twin is
+      // cache-hittable on any replica that warmed its fingerprint; run it
+      // on the least-loaded replica when one is strictly less loaded.
+      std::size_t best = job.shard;
+      for (std::size_t member :
+           ring_.replicas(fingerprint, options_.replicas)) {
+        if (member != job.shard && depth(member) < depth(best)) best = member;
+      }
+      if (best != job.shard) {
+        job.shard = best;
+        ++stats_.replica_hits;
+      }
+    }
     const std::string token = token_for(job.ordinal);
     util::JsonValue::Object rewritten = parsed.object();
     rewritten["id"] = util::JsonValue(token);
@@ -206,9 +279,17 @@ std::vector<std::string> ShardRouter::take_sendable(std::size_t shard) {
     pending.pop_front();
     auto it = jobs_.find(token);
     if (it == jobs_.end()) continue;  // defensive
-    it->second.inflight = true;
-    it->second.sent_at = std::chrono::steady_clock::now();
-    out.push_back(it->second.line);
+    Job& job = it->second;
+    if (job.hedge_shard == shard && job.shard != shard) {
+      // Hedge copy going out: the primary stays in flight elsewhere;
+      // stamp the hedge's own clock so a hedge win measures ITS trip.
+      job.hedge_inflight = true;
+      job.hedge_sent_at = std::chrono::steady_clock::now();
+    } else {
+      job.inflight = true;
+      job.sent_at = std::chrono::steady_clock::now();
+    }
+    out.push_back(job.line);
     inflight.insert(token);
   }
   return out;
@@ -255,13 +336,32 @@ std::vector<std::string> ShardRouter::on_child_line(std::size_t shard,
   Job job = std::move(it->second);
   const std::string token = id->as_string();
   jobs_.erase(it);
+  // Release BOTH copies of a hedged job: the loser is either still
+  // pending on the other shard (pulled from its queue here, never sent)
+  // or in flight there (its late line will dedupe as an unknown token).
   if (job.shard < inflight_.size()) inflight_[job.shard].erase(token);
-  if (job.shard < latency_.size() &&
-      job.sent_at != std::chrono::steady_clock::time_point{}) {
-    latency_[job.shard]->observe(std::chrono::duration<double, std::milli>(
-                                     std::chrono::steady_clock::now() -
-                                     job.sent_at)
-                                     .count());
+  unqueue(job.shard, token);
+  if (job.hedge_shard) {
+    if (*job.hedge_shard < inflight_.size()) {
+      inflight_[*job.hedge_shard].erase(token);
+    }
+    unqueue(*job.hedge_shard, token);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const bool from_hedge = job.hedge_shard == shard && job.shard != shard;
+  if (from_hedge) {
+    ++stats_.hedge_wins;
+    if (job.hedge_sent_at != std::chrono::steady_clock::time_point{}) {
+      hedge_win_ms_.observe(
+          std::chrono::duration<double, std::milli>(now - job.hedge_sent_at)
+              .count());
+    }
+  }
+  const auto sent = from_hedge ? job.hedge_sent_at : job.sent_at;
+  if (shard < latency_.size() &&
+      sent != std::chrono::steady_clock::time_point{}) {
+    latency_[shard]->observe(
+        std::chrono::duration<double, std::milli>(now - sent).count());
   }
 
   // Byte-level surgery keeps every solver-produced field bit-identical:
@@ -299,6 +399,32 @@ std::vector<std::string> ShardRouter::on_child_down(std::size_t shard) {
   for (const std::string& token : tokens) {
     auto it = jobs_.find(token);
     if (it == jobs_.end()) continue;
+    {
+      Job& hedged = it->second;
+      if (hedged.hedge_shard == shard && hedged.shard != shard) {
+        // Only the hedge copy died; the primary is still out there on a
+        // live shard. Drop the hedge — dispatch_hedges may re-hedge the
+        // job onto the post-crash ring.
+        hedged.hedge_shard.reset();
+        hedged.hedge_inflight = false;
+        hedged.hedge_sent_at = {};
+        continue;
+      }
+      if (hedged.shard == shard && hedged.hedge_shard &&
+          *hedged.hedge_shard < alive_.size() &&
+          alive_[*hedged.hedge_shard]) {
+        // The owner died but a hedge copy is already queued or in flight
+        // on a live replica: promote it to primary instead of requeueing
+        // from scratch — the zero-stall crash rescue.
+        hedged.shard = *hedged.hedge_shard;
+        hedged.inflight = hedged.hedge_inflight;
+        hedged.sent_at = hedged.hedge_sent_at;
+        hedged.hedge_shard.reset();
+        hedged.hedge_inflight = false;
+        hedged.hedge_sent_at = {};
+        continue;
+      }
+    }
     if (ring_.shard_count() == 0) {
       // Nothing left to run it on: the job errors out, but still gets its
       // global seq — it WAS accepted, and downstream consumers count on
@@ -320,6 +446,9 @@ std::vector<std::string> ShardRouter::on_child_down(std::size_t shard) {
     } else {
       Job& job = it->second;
       job.inflight = false;
+      job.hedge_shard.reset();
+      job.hedge_inflight = false;
+      job.hedge_sent_at = {};
       job.shard = ring_.route(job.fingerprint);
       ++stats_.requeued;
       ++stats_.routed_per_shard[job.shard];
@@ -371,6 +500,49 @@ void ShardRouter::requeue_inflight(std::size_t shard) {
   }
 }
 
+std::size_t ShardRouter::dispatch_hedges() {
+  if (options_.hedge_min_ms <= 0.0 || options_.replicas < 2 ||
+      ring_.shard_count() < 2) {
+    return 0;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t dispatched = 0;
+  for (auto& [token, job] : jobs_) {
+    if (!job.inflight || job.hedge_shard) continue;
+    // Adaptive threshold: this shard's observed round-trip p95, floored
+    // by hedge_min_ms so an empty histogram (or a pathologically fast
+    // one) cannot trigger a hedge storm.
+    double threshold_ms = options_.hedge_min_ms;
+    const obs::HistogramSnapshot snap = latency_snapshot(job.shard);
+    if (snap.count > 0) {
+      threshold_ms = std::max(threshold_ms, snap.quantile(0.95));
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(now - job.sent_at).count();
+    if (elapsed_ms < threshold_ms) continue;
+    // The hedge target: the first replica that is not the job's own
+    // shard. replicas() only walks live shards, so the target can take
+    // the copy right now.
+    std::optional<std::size_t> target;
+    for (std::size_t member :
+         ring_.replicas(job.fingerprint, options_.replicas)) {
+      if (member != job.shard) {
+        target = member;
+        break;
+      }
+    }
+    if (!target) continue;  // replica set collapsed to the owner alone
+    job.hedge_shard = target;
+    job.hedge_inflight = false;
+    job.hedge_sent_at = {};
+    pending_[*target].push_back(token);
+    ++stats_.hedges;
+    ++stats_.routed_per_shard[*target];
+    ++dispatched;
+  }
+  return dispatched;
+}
+
 bool ShardRouter::take_pong(std::size_t shard) {
   if (shard >= pong_.size()) return false;
   const bool seen = pong_[shard];
@@ -413,6 +585,57 @@ std::size_t ShardRouter::total_pending() const {
   std::size_t total = 0;
   for (const auto& p : pending_) total += p.size();
   return total;
+}
+
+std::size_t ShardRouter::depth(std::size_t shard) const {
+  if (shard >= pending_.size()) return 0;
+  return pending_[shard].size() + inflight_[shard].size();
+}
+
+void ShardRouter::unqueue(std::size_t shard, const std::string& token) {
+  if (shard >= pending_.size()) return;
+  auto& queue = pending_[shard];
+  const auto it = std::find(queue.begin(), queue.end(), token);
+  if (it != queue.end()) queue.erase(it);
+}
+
+bool ShardRouter::shed_for(int incoming_priority,
+                           std::vector<std::string>* out) {
+  // Victim: the lowest-priority job still waiting in a pending queue —
+  // never one in flight or hedged (those hold window slots and may be
+  // answered any moment). Ties break toward the newest ordinal: the jobs
+  // that waited longest are shed last.
+  const Job* victim = nullptr;
+  for (const auto& [token, job] : jobs_) {
+    if (job.inflight || job.hedge_shard) continue;
+    if (victim == nullptr || job.priority < victim->priority ||
+        (job.priority == victim->priority && job.ordinal > victim->ordinal)) {
+      victim = &job;
+    }
+  }
+  if (victim == nullptr || incoming_priority <= victim->priority) {
+    return false;  // nothing ranks below the incoming job: shed IT
+  }
+  const std::string token = token_for(victim->ordinal);
+  auto it = jobs_.find(token);
+  Job job = std::move(it->second);
+  jobs_.erase(it);
+  unqueue(job.shard, token);
+  ++stats_.sheds;
+  any_error_ = true;
+  // The victim WAS accepted, so like an orphan it keeps its place in the
+  // global seq order — downstream consumers still see one numbered line
+  // per accepted job, contiguous 0..N-1.
+  util::JsonWriter err;
+  err.field("id", job.display_id)
+      .field("error",
+             "shed by admission control: displaced by a higher-priority "
+             "job past the queue-depth bound")
+      .field("delayed", true)
+      .field("seq", next_seq_++);
+  out->push_back(err.str());
+  finished(job.ordinal, out);
+  return true;
 }
 
 void ShardRouter::finished(std::uint64_t ordinal,

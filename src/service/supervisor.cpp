@@ -31,7 +31,7 @@ void append(std::vector<std::string>* out, std::vector<std::string> lines) {
 
 Supervisor::Supervisor(ShardRouter& router, SupervisorOptions options)
     : router_(router), options_(std::move(options)),
-      last_ping_(Clock::now()) {
+      last_ping_(Clock::now()), last_gossip_(Clock::now()) {
   slots_.resize(router_.shard_slots());
 }
 
@@ -63,7 +63,9 @@ void Supervisor::attach_remote(std::size_t slot, const std::string& host,
   ensure_slot(slot);
   Slot& s = slots_[slot];
   if (s.attached) throw std::logic_error("Supervisor: slot already attached");
-  s.endpoint = std::make_unique<net::SocketChild>(host, port);
+  s.endpoint =
+      std::make_unique<net::SocketChild>(host, port,
+                                         options_.remote_auth_token);
   s.local = false;
   s.attached = true;
   s.want = true;
@@ -99,6 +101,11 @@ std::vector<std::string> Supervisor::pump(int poll_ms) {
       try_respawn(s, &out);
     }
   }
+
+  // Hedge pass: queue replica copies of jobs stuck in flight past their
+  // shard's adaptive threshold, so the send loop below writes them in
+  // this same cycle (mirrors shard_driver's pump).
+  router_.dispatch_hedges();
 
   // Send: fill each live shard's window; keep flushing retiring shards
   // so their farewell control lines leave the user-space buffer, then
@@ -174,6 +181,15 @@ std::vector<std::string> Supervisor::pump(int poll_ms) {
   }
 
   send_health_pings();
+  if (options_.gossip_ms > 0 &&
+      now - last_gossip_ >= std::chrono::milliseconds(options_.gossip_ms)) {
+    // Periodic warm-pool gossip: the same export_warm probe the
+    // membership-change handoff uses, on a timer — replies route through
+    // forward_warm above on later pumps, warming replicas that joined
+    // (or respawned) after the pool entries were found.
+    last_gossip_ = now;
+    request_warm_rebalance();
+  }
   advance_stats_probes(&out);
   return out;
 }
@@ -218,6 +234,12 @@ std::string Supervisor::fleet_stats_line(const StatsProbe& probe) const {
       .field("emitted", rs.emitted)
       .field("requeued", rs.requeued)
       .field("orphaned", rs.orphaned)
+      .field("hedges", rs.hedges)
+      .field("hedge_wins", rs.hedge_wins)
+      .field("sheds", rs.sheds)
+      .field("replica_hits", rs.replica_hits)
+      .field("replicas",
+             static_cast<std::uint64_t>(router_.replication_factor()))
       .field("outstanding", static_cast<std::uint64_t>(router_.outstanding()));
 
   util::JsonWriter sup;
@@ -337,8 +359,8 @@ bool Supervisor::try_respawn(std::size_t s, std::vector<std::string>* out) {
     if (slot.local) {
       slot.endpoint = std::make_unique<ProcessChild>(options_.local_argv);
     } else {
-      slot.endpoint =
-          std::make_unique<net::SocketChild>(slot.host, slot.port);
+      slot.endpoint = std::make_unique<net::SocketChild>(
+          slot.host, slot.port, options_.remote_auth_token);
     }
   } catch (const std::exception&) {
     // fork/pipe failure (fd or process exhaustion) — or, for a remote,
@@ -493,27 +515,29 @@ void Supervisor::forward_warm(std::size_t donor, const std::string& warm_json) {
   }
   if (!warm.is_object()) return;
 
-  // Group the donor's entries by their CURRENT ring owner; entries the
-  // donor still owns stay put.
+  // Group the donor's entries by every member of their CURRENT replica
+  // set (owner + next R-1 shards); the donor's own copy stays put.
   std::map<std::size_t, std::string> per_owner;
   std::map<std::size_t, std::uint64_t> forwarded;
   for (const auto& [fp_hex, samples] : warm.object()) {
     const auto fp = parse_fp_hex(fp_hex);
     if (!fp || !samples.is_array() || samples.array().empty()) continue;
-    std::size_t owner = 0;
+    std::vector<std::size_t> members;
     try {
-      owner = router_.owner_of(*fp);
+      members = router_.replica_set(*fp);
     } catch (const std::exception&) {
       return;  // empty ring: nobody to hand anything to
     }
-    if (owner == donor || owner >= slots_.size() ||
-        !slots_[owner].endpoint || slots_[owner].retiring) {
-      continue;
+    for (const std::size_t member : members) {
+      if (member == donor || member >= slots_.size() ||
+          !slots_[member].endpoint || slots_[member].retiring) {
+        continue;
+      }
+      std::string& payload = per_owner[member];
+      payload += payload.empty() ? "{" : ",";
+      payload += "\"" + fp_hex + "\":" + util::to_json(samples);
+      forwarded[member] += samples.array().size();
     }
-    std::string& payload = per_owner[owner];
-    payload += payload.empty() ? "{" : ",";
-    payload += "\"" + fp_hex + "\":" + util::to_json(samples);
-    forwarded[owner] += samples.array().size();
   }
   for (auto& [owner, payload] : per_owner) {
     payload += "}";

@@ -31,10 +31,12 @@
 //
 //   * warm handoff — whenever ring membership changes (respawn rejoin,
 //     grow, shrink), every live shard is probed with export_warm; each
-//     returned pool entry whose problem fingerprint now routes to a
-//     DIFFERENT shard is forwarded there as import_warm, so requeued and
-//     future jobs on the new owner start from the best configurations
-//     the old owner had already found.
+//     returned pool entry is forwarded as import_warm to every member of
+//     its fingerprint's replica set (owner + next R-1) except the donor,
+//     so requeued, hedged and hot-key-routed jobs start from the best
+//     configurations already found. With gossip_ms > 0 the same probe
+//     also runs on a timer, warming late joiners between membership
+//     changes.
 //
 //   * health — the ping/5-missed-pongs watchdog from PR 4's tool loop
 //     lives here now; an unresponsive shard is terminated and flows into
@@ -83,6 +85,16 @@ struct SupervisorOptions {
   /// exit on its own before being terminated (a wedged retiree must not
   /// haunt the fleet until final teardown).
   int retire_grace_ms = 10000;
+  /// Periodic warm-pool gossip: every gossip_ms the fleet is probed with
+  /// export_warm and each entry is re-forwarded to its key's replica set
+  /// (same path as the membership-change handoff), so a late-joining or
+  /// respawned replica warms up between membership changes too. 0 = only
+  /// membership changes trigger the handoff.
+  int gossip_ms = 0;
+  /// Auth token presented to remote `--listen` shards on connect and on
+  /// every redial (they close unauthenticated sessions when started with
+  /// --auth-token). Empty = no handshake line.
+  std::string remote_auth_token;
 };
 
 class Supervisor {
@@ -186,9 +198,10 @@ class Supervisor {
   void on_death(std::size_t slot, std::vector<std::string>* out);
   /// Spawns the replacement for a due slot; true on success.
   bool try_respawn(std::size_t slot, std::vector<std::string>* out);
-  /// Probes every live shard for its warm pool (handoff trigger).
+  /// Probes every live shard for its warm pool (handoff/gossip trigger).
   void request_warm_rebalance();
-  /// Routes one shard's export to the entries' current owners.
+  /// Routes one shard's export to each entry's current replica set (the
+  /// owner plus the next R-1 shards), skipping the donor itself.
   void forward_warm(std::size_t donor, const std::string& warm_json);
   void send_health_pings();
   /// Emits every complete (or expired) fleet-stats aggregation.
@@ -201,6 +214,7 @@ class Supervisor {
   std::vector<std::string> deferred_out_;
   std::vector<StatsProbe> stats_probes_;
   std::chrono::steady_clock::time_point last_ping_;
+  std::chrono::steady_clock::time_point last_gossip_;
   std::uint64_t probe_counter_ = 0;
   Stats stats_;
 };

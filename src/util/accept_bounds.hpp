@@ -30,7 +30,9 @@
 //   rounding and libm tanh's ~2 ulp, with |x| >= 20 saturated.
 #pragma once
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "util/simd.hpp"
@@ -52,6 +54,13 @@ inline constexpr double kBigLo = 0x1.0p900;
 inline constexpr double kTanhPad = 1e-12;
 inline constexpr double kTanhSat = 20.0;            // tanh within 2^-56 of 1
 inline constexpr double kTanhSatLo = 1.0 - 0x1.0p-48;
+// Tier-1 exponent trick (see exp_accept): with r = arg*log2(e), log2(u)
+// lies in [e, e+1) for biased exponent be = e + 1023, so be < r + 1022
+// accepts and be >= r + 1023 rejects; the 1e-9 margin dwarfs the rounding
+// error in r (< 1e-12 for |arg| < 750). Shared with the bit-sliced sweep
+// engine (ising/bitslice.cpp) so both paths decide identically.
+inline constexpr double kTier1Accept = 1022.0 - 1e-9;
+inline constexpr double kTier1Reject = 1023.0 + 1e-9;
 }  // namespace accept_detail
 
 /// Per-lane [lo, hi] with lo <= std::exp(a) <= hi (and the true exp too).
@@ -96,6 +105,30 @@ inline BoundsF64x4 exp_bounds(F64x4 a) noexcept {
   return {lo, hi};
 }
 
+/// Scalar tiered Metropolis acceptance: decides u < std::exp(arg)
+/// bit-identically to calling libm on every draw — the bit-sliced
+/// engine's three-tier test (ising/bitslice.cpp), one lane. Tier 1 reads
+/// u's binary exponent against r = arg*log2(e) and decides ~all draws;
+/// tier 2 consults exp_bounds; only the ambiguous band reaches std::exp.
+/// `u` must be a uniform01 draw (0 or a normal in [2^-53, 1)).
+inline bool exp_accept(double u, double arg) noexcept {
+  using namespace accept_detail;
+  if (u >= 0x1.0p-53) {  // a u == 0 draw carries no exponent information
+    const double r = arg * kLog2e;
+    const double be =
+        static_cast<double>(std::bit_cast<std::uint64_t>(u) >> 52);
+    if (be < r + kTier1Accept) return true;
+    if (be >= r + kTier1Reject) return false;
+  }
+  const BoundsF64x4 eb = exp_bounds(F64x4::broadcast(arg));
+  double lo[4], hi[4];
+  eb.lo.store(lo);
+  eb.hi.store(hi);
+  if (u < lo[0]) return true;
+  if (u >= hi[0]) return false;
+  return u < std::exp(arg);
+}
+
 /// Per-lane [lo, hi] with lo <= std::tanh(x) <= hi.
 inline BoundsF64x4 tanh_bounds(F64x4 x) noexcept {
   using namespace accept_detail;
@@ -114,6 +147,27 @@ inline BoundsF64x4 tanh_bounds(F64x4 x) noexcept {
   lo = select(sat_neg, F64x4::zero() - one, lo);
   hi = select(sat_neg, F64x4::zero() - F64x4::broadcast(kTanhSatLo), hi);
   return {lo, hi};
+}
+
+/// Scalar tiered p-bit sign test: decides tanh(x) + u >= 0 bit-identically
+/// to calling std::tanh on every draw — the bit-sliced engine's test
+/// (ising/bitslice.cpp), one lane. Saturation tier for |x| >= 20 (the
+/// draw decides only inside the 2^-48 band next to ±1), tanh_bounds tier
+/// otherwise; ambiguous draws reach libm. `u` is a uniform_sym draw in
+/// [-1, 1).
+inline bool tanh_sign_nonneg(double x, double u) noexcept {
+  using namespace accept_detail;
+  if (x >= kTanhSat || x <= -kTanhSat) {
+    if (std::abs(u) < kTanhSatLo) return x >= 0.0;
+    return std::tanh(x) + u >= 0.0;
+  }
+  const BoundsF64x4 tb = tanh_bounds(F64x4::broadcast(x));
+  double lo[4], hi[4];
+  tb.lo.store(lo);
+  tb.hi.store(hi);
+  if (lo[0] + u >= 0.0) return true;
+  if (hi[0] + u < 0.0) return false;
+  return std::tanh(x) + u >= 0.0;
 }
 
 }  // namespace saim::util

@@ -21,6 +21,7 @@
 #include "pbit/pbit_machine.hpp"
 #include "pbit/schedule.hpp"
 #include "problems/qkp.hpp"
+#include "util/accept_bounds.hpp"
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
 
@@ -373,6 +374,64 @@ TEST(BitsliceParity, FusedBatchMembersMatchSoloSolves) {
           << "member " << j << " iteration " << k;
       EXPECT_EQ(fused.history[k].lambda, solo.history[k].lambda)
           << "member " << j << " iteration " << k;
+    }
+  }
+}
+
+// The scalar engines now run the same tiered acceptance tests the
+// bit-sliced engine uses (util/accept_bounds); the contract is that every
+// tier decision is bit-identical to calling libm on the draw. Dense
+// random sweeps plus the edges where tiers hand over: u = 0 (libm exp can
+// underflow to exactly 0), u just above/below 2^-53, args in the
+// tier-1-ambiguous band, deep-negative args, |x| straddling the tanh
+// saturation threshold.
+TEST(ScalarTieredAcceptance, ExpAcceptMatchesLibmEverywhere) {
+  util::Xoshiro256pp rng(2024);
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform01();
+    // Mix of typical Metropolis args (small negative) and extreme ones.
+    const double scale = (i % 3 == 0) ? 800.0 : 8.0;
+    const double arg = -scale * rng.uniform01();
+    ASSERT_EQ(util::exp_accept(u, arg), u < std::exp(arg))
+        << "u=" << u << " arg=" << arg;
+  }
+  // Edge draws: u carries no (or minimal) exponent information.
+  for (const double u : {0.0, 0x1.0p-53, 0x1.0p-52, 0x1.fffffffffffffp-1}) {
+    for (const double arg : {0.0, -1e-9, -0.5, -36.8, -700.0, -746.0,
+                             -1000.0}) {
+      ASSERT_EQ(util::exp_accept(u, arg), u < std::exp(arg))
+          << "u=" << u << " arg=" << arg;
+    }
+  }
+  // Args placed so u's biased exponent lands in the tier-1 ambiguous
+  // band [r+1022, r+1023): the bounds/libm tiers must take over.
+  for (int e = 1; e <= 60; ++e) {
+    const double u = std::ldexp(1.0 + 1e-9, -e);  // exponent 1023 - e
+    for (const double nudge : {-0.4, 0.0, 0.4}) {
+      const double arg = (-e + nudge) * 0.6931471805599453094;
+      ASSERT_EQ(util::exp_accept(u, arg), u < std::exp(arg))
+          << "u=" << u << " arg=" << arg;
+    }
+  }
+}
+
+TEST(ScalarTieredAcceptance, TanhSignMatchesLibmEverywhere) {
+  util::Xoshiro256pp rng(4048);
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform_sym();
+    const double scale = (i % 3 == 0) ? 40.0 : 4.0;
+    const double x = scale * rng.uniform_sym();
+    ASSERT_EQ(util::tanh_sign_nonneg(x, u), std::tanh(x) + u >= 0.0)
+        << "x=" << x << " u=" << u;
+  }
+  // The saturation handover and the ambiguous band next to ±1.
+  for (const double x : {-25.0, -20.0, -19.999999, -1.0, -1e-12, 0.0,
+                         1e-12, 1.0, 19.999999, 20.0, 25.0}) {
+    for (const double u : {-1.0, -(1.0 - 0x1.0p-48), -(1.0 - 0x1.0p-49),
+                           -0.5, 0.0, 0.5, 1.0 - 0x1.0p-49,
+                           1.0 - 0x1.0p-48, 0x1.fffffffffffffp-1}) {
+      ASSERT_EQ(util::tanh_sign_nonneg(x, u), std::tanh(x) + u >= 0.0)
+          << "x=" << x << " u=" << u;
     }
   }
 }

@@ -254,14 +254,17 @@ struct RemoteShard {
   int port = 0;
 };
 
-RemoteShard spawn_listen_serve(const std::string& tag) {
+RemoteShard spawn_listen_serve(const std::string& tag,
+                               std::vector<std::string> extra_args = {}) {
   RemoteShard remote;
   const std::string port_file = "net_test_port_" + tag + ".tmp";
   std::remove(port_file.c_str());
-  remote.server = std::make_unique<service::ProcessChild>(
-      std::vector<std::string>{serve_bin(), "--listen", "127.0.0.1:0",
-                               "--port-file", port_file, "--stream",
-                               "--workers", "1", "--cache", "0"});
+  std::vector<std::string> argv{serve_bin(),    "--listen", "127.0.0.1:0",
+                                "--port-file",  port_file,  "--stream",
+                                "--workers",    "1",        "--cache",
+                                "0"};
+  argv.insert(argv.end(), extra_args.begin(), extra_args.end());
+  remote.server = std::make_unique<service::ProcessChild>(std::move(argv));
   for (int spin = 0; spin < 10000 && remote.port == 0; ++spin) {
     std::ifstream pf(port_file);
     if (!(pf >> remote.port)) {
@@ -378,6 +381,78 @@ TEST(TransportEquality, SocketFleetMatchesPipeFleetBitForBit) {
   }
   remote_a.server->terminate();
   remote_b.server->terminate();
+}
+
+// ------------------------------------------------------ shard-side auth
+
+/// Sends one job over `shard` and collects lines until EOF or the first
+/// result, whichever comes first.
+std::vector<std::string> try_one_job(net::SocketChild& shard) {
+  shard.send_line(
+      R"({"id":"one","gen":"qkp:30-25-1","iterations":2,"sweeps":20})");
+  shard.pump_writes();
+  std::vector<std::string> lines;
+  for (int spin = 0; spin < 20000 && !shard.eof() && lines.empty(); ++spin) {
+    shard.pump_writes();
+    for (auto& l : shard.read_lines()) lines.push_back(std::move(l));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& l : shard.read_lines()) lines.push_back(std::move(l));
+  return lines;
+}
+
+TEST(ShardAuth, TokenGatesTheSessionFailingClosed) {
+  if (!serve_bin()) GTEST_SKIP() << "saim_serve not built";
+  auto remote = spawn_listen_serve("auth", {"--auth-token", "s3cr3t"});
+  ASSERT_GT(remote.port, 0);
+
+  // Correct token: the SocketChild sends the {"auth":...} handshake
+  // before anything else and the session proceeds normally.
+  {
+    net::SocketChild shard("127.0.0.1", remote.port, "s3cr3t");
+    const auto lines = try_one_job(shard);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"status\":\"completed\""), std::string::npos);
+    EXPECT_FALSE(shard.eof());
+  }
+
+  // Wrong token: the server closes the connection before the job line is
+  // ever parsed — EOF, zero result lines.
+  {
+    net::SocketChild shard("127.0.0.1", remote.port, "wrong");
+    const auto lines = try_one_job(shard);
+    EXPECT_TRUE(lines.empty()) << lines.front();
+    EXPECT_TRUE(shard.eof());
+  }
+
+  // Missing token: the first line is a job, not a handshake — same
+  // fail-closed close, and the job is NOT executed.
+  {
+    net::SocketChild shard("127.0.0.1", remote.port);
+    const auto lines = try_one_job(shard);
+    EXPECT_TRUE(lines.empty()) << lines.front();
+    EXPECT_TRUE(shard.eof());
+  }
+
+  // The gate is per-session: a good client still works afterwards.
+  {
+    net::SocketChild shard("127.0.0.1", remote.port, "s3cr3t");
+    const auto lines = try_one_job(shard);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"status\":\"completed\""), std::string::npos);
+  }
+  remote.server->terminate();
+}
+
+TEST(ShardAuth, NoServerTokenMeansNoHandshakeRequired) {
+  if (!serve_bin()) GTEST_SKIP() << "saim_serve not built";
+  auto remote = spawn_listen_serve("noauth");
+  ASSERT_GT(remote.port, 0);
+  net::SocketChild shard("127.0.0.1", remote.port);
+  const auto lines = try_one_job(shard);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"status\":\"completed\""), std::string::npos);
+  remote.server->terminate();
 }
 
 TEST(TransportEquality, ListenServerShutdownCmdExitsZero) {

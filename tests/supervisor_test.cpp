@@ -488,6 +488,143 @@ TEST(SupervisorFleet, WarmHandoffSeedsTheNewOwnerOnGrow) {
   supervisor.shutdown_fleet();
 }
 
+TEST(SupervisorFleet, ChaosSigkillWithReplicationCompletesWithZeroStall) {
+  if (!serve_bin()) GTEST_SKIP() << "saim_serve not built";
+  // R=2 with hedging on: when the owner is SIGKILLed mid-stream, its
+  // hedged jobs are promoted to the replica copies already running and
+  // the rest fail over — nothing waits for the respawn. The respawn
+  // backoff is set absurdly high so a single stalled job would hang the
+  // test: 12/12 completing proves completion never depended on it.
+  RouterOptions router_options;
+  router_options.shards = 2;
+  router_options.window = 4;
+  router_options.replicas = 2;
+  router_options.hedge_min_ms = 5.0;
+  ShardRouter router(router_options);
+  SupervisorOptions supervisor_options = fast_supervisor_options();
+  supervisor_options.backoff_initial_ms = 60000;
+  supervisor_options.backoff_max_ms = 60000;
+  Supervisor supervisor(router, supervisor_options);
+  supervisor.attach_local(0);
+  supervisor.attach_local(1);
+
+  std::vector<std::string> out;
+  std::size_t line_no = 0;
+  feed_jobs(router, &out, &line_no, 1, 6, 25, 300);
+  ASSERT_GT(router.pending(0), 0u);
+  ASSERT_GT(router.pending(1), 0u);
+
+  for (int spin = 0; spin < 10000 && out.size() < 2; ++spin) {
+    for (auto& l : supervisor.pump(2)) out.push_back(std::move(l));
+  }
+  ASSERT_GE(out.size(), 2u);
+  const std::size_t victim =
+      router.inflight(0) + router.pending(0) >=
+              router.inflight(1) + router.pending(1)
+          ? 0
+          : 1;
+  ASSERT_GT(router.inflight(victim) + router.pending(victim), 0u);
+  supervisor.endpoint(victim)->terminate();  // SIGKILL
+
+  for (auto& l : pump_to_idle(router, supervisor)) out.push_back(std::move(l));
+
+  expect_exactly_once(out, 12);
+  EXPECT_EQ(supervisor.stats().respawns, 0u)
+      << "a respawn happened: completion may have stalled on it";
+  EXPECT_FALSE(router.alive(victim));
+  EXPECT_EQ(router.live_shards(), 1u);
+  EXPECT_EQ(router.stats().orphaned, 0u);
+  EXPECT_FALSE(router.any_error());
+  supervisor.shutdown_fleet();
+}
+
+TEST(SupervisorFleet, GossipWarmsReplicasWithoutAnyMembershipChange) {
+  if (!serve_bin()) GTEST_SKIP() << "saim_serve not built";
+  // Replication satellite: with gossip_ms set, warm-pool entries reach
+  // every member of their replica set on a timer — no reshard, respawn or
+  // other membership event required. Proof: warm_forwarded grows while
+  // reshards == respawns == 0; then the owner dies and a warm job on the
+  // survivor still starts warm, although the survivor never solved the
+  // instance and the dead owner can no longer export anything.
+  RouterOptions router_options;
+  router_options.shards = 2;
+  router_options.replicas = 2;
+  ShardRouter router(router_options);
+  SupervisorOptions supervisor_options = fast_supervisor_options();
+  supervisor_options.gossip_ms = 5;
+  supervisor_options.backoff_initial_ms = 60000;
+  supervisor_options.backoff_max_ms = 60000;
+  Supervisor supervisor(router, supervisor_options);
+  supervisor.attach_local(0);
+  supervisor.attach_local(1);
+
+  // Cold wave over many instances: each owner's pool fills with the best
+  // feasible configurations for its keyslice.
+  std::vector<std::string> out;
+  std::size_t line_no = 0;
+  for (int k = 1; k <= 12; ++k) {
+    ASSERT_TRUE(router
+                    .accept_line("{\"id\":\"cold" + std::to_string(k) +
+                                     "\",\"gen\":\"qkp:30-25-" +
+                                     std::to_string(k) +
+                                     "\",\"iterations\":20,\"sweeps\":200}",
+                                 ++line_no)
+                    .empty());
+  }
+  std::vector<std::string> cold;
+  for (auto& l : pump_to_idle(router, supervisor)) cold.push_back(std::move(l));
+  ASSERT_EQ(cold.size(), 12u);
+  std::set<int> feasible;
+  for (const auto& line : cold) {
+    const auto v = util::parse_json(line);
+    if (v.find("found_feasible")->as_bool()) {
+      feasible.insert(std::stoi(v.find("id")->as_string().substr(4)));
+    }
+  }
+  ASSERT_FALSE(feasible.empty()) << "no cold job found a feasible sample";
+
+  // Idle gossip rounds replicate the pools across the fleet.
+  for (int spin = 0;
+       spin < 20000 && supervisor.stats().warm_forwarded == 0; ++spin) {
+    (void)supervisor.pump(2);
+  }
+  ASSERT_GT(supervisor.stats().warm_forwarded, 0u)
+      << "gossip never moved a pool entry";
+  EXPECT_EQ(supervisor.stats().reshards, 0u);
+  EXPECT_EQ(supervisor.stats().respawns, 0u);
+
+  // Kill a feasible instance's owner. Its pool dies with it, so any
+  // warmth the survivor shows below must have arrived via gossip.
+  const int moved_k = *feasible.begin();
+  const auto request = request_for(std::make_shared<problems::QkpInstance>(
+      problems::make_paper_qkp(30, 25, moved_k)));
+  const std::size_t owner =
+      router.owner_of(problems::fingerprint(*request.problem));
+  supervisor.endpoint(owner)->terminate();
+  for (int spin = 0; spin < 20000 && router.live_shards() == 2; ++spin) {
+    (void)supervisor.pump(2);
+  }
+  ASSERT_EQ(router.live_shards(), 1u);
+
+  ASSERT_TRUE(router
+                  .accept_line("{\"id\":\"w\",\"gen\":\"qkp:30-25-" +
+                                   std::to_string(moved_k) +
+                                   "\",\"iterations\":5,\"sweeps\":100,"
+                                   "\"seed\":77,\"warm_start\":true}",
+                               ++line_no)
+                  .empty());
+  std::vector<std::string> warm_out;
+  for (auto& l : pump_to_idle(router, supervisor)) {
+    warm_out.push_back(std::move(l));
+  }
+  ASSERT_EQ(warm_out.size(), 1u);
+  const auto warm_line = util::parse_json(warm_out[0]);
+  EXPECT_EQ(warm_line.find("id")->as_string(), "w");
+  EXPECT_TRUE(warm_line.find("warm_started")->as_bool())
+      << warm_out[0] << " — gossip should have warmed the replica";
+  supervisor.shutdown_fleet();
+}
+
 TEST(SupervisorFleet, GracefulShutdownReapsEveryChild) {
   if (!serve_bin()) GTEST_SKIP() << "saim_serve not built";
   RouterOptions router_options;

@@ -20,7 +20,9 @@
 //     and warm-start pool). Port 0 picks an ephemeral port; --port-file
 //     writes the bound port for race-free rendezvous. This is how a
 //     remote shard joins a `saim_shard --connect host:port` fleet —
-//     start it with --stream, which the sharding router requires.
+//     start it with --stream, which the sharding router requires. With
+//     --auth-token the first line of every connection must be the
+//     {"auth":"<token>"} handshake or the connection is closed unserved.
 //
 // Output modes (per session): default collects results until EOF and
 // prints them in input order; --stream emits each result the moment it
@@ -65,18 +67,42 @@
 #include "service/solve_service.hpp"
 #include "service/stream_session.hpp"
 #include "util/cli.hpp"
+#include "util/jsonl.hpp"
 #include "util/logging.hpp"
 
 namespace {
 
 using namespace saim;
 
+/// Reads the connection's first line and checks it against the shared
+/// secret: exactly {"auth":"<token>"}. Anything else — wrong token, no
+/// auth field, malformed JSON, or the peer closing first — fails closed.
+bool check_auth(int fd, const std::string& token) {
+  std::string line;
+  char c = 0;
+  while (line.size() < 4096) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return false;  // closed/reset before the handshake
+    if (c == '\n') break;
+    line.push_back(c);
+  }
+  try {
+    const util::JsonValue parsed = util::parse_json(line);
+    if (!parsed.is_object()) return false;
+    const auto* auth = parsed.find("auth");
+    return auth != nullptr && auth->as_string() == token;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 /// Accept loop for --listen: one session thread per connection, all over
 /// `svc`. Returns true once a session requested shutdown.
 int serve_listen(service::SolveService& svc,
                  const service::SessionOptions& session_options,
                  const std::string& listen_spec,
-                 const std::string& port_file) {
+                 const std::string& port_file,
+                 const std::string& auth_token) {
   const auto hostport = net::parse_hostport(listen_spec);
   if (!hostport) {
     util::log_error() << "saim_serve: bad --listen '" << listen_spec
@@ -133,6 +159,15 @@ int serve_listen(service::SolveService& svc,
     session->fd = *fd;
     auto* raw = session.get();
     session->thread = std::thread([&, raw] {
+      if (!auth_token.empty() && !check_auth(raw->fd, auth_token)) {
+        // Closed before any job line is read: an unauthenticated peer
+        // never reaches the parser, the service, or the filesystem.
+        util::log_warn()
+            << "saim_serve: closed unauthenticated connection";
+        ::shutdown(raw->fd, SHUT_RDWR);
+        raw->done.store(true);
+        return;
+      }
       service::FdSessionIO io(raw->fd, /*owns_fd=*/false);
       const auto result =
           service::run_stream_session(svc, io, session_options);
@@ -188,6 +223,10 @@ int main(int argc, char** argv) {
       .add_flag("port-file",
                 "write the bound --listen port to this file (rendezvous "
                 "for port 0)",
+                "")
+      .add_flag("auth-token",
+                "shared secret for --listen: clients must open with "
+                "{\"auth\":\"<token>\"} or the connection is closed",
                 "")
       .add_flag("workers", "solver worker threads (0 = hardware)", "0")
       .add_flag("cache", "result-cache capacity (0 disables)", "256")
@@ -275,7 +314,7 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   if (!args.get("listen").empty()) {
     exit_code = serve_listen(svc, session_options, args.get("listen"),
-                             args.get("port-file"));
+                             args.get("port-file"), args.get("auth-token"));
   } else {
     std::ifstream file_in;
     const std::string input = args.get("input");

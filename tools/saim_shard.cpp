@@ -20,6 +20,13 @@
 //     carry none);
 //   * per-shard bounded in-flight windows give backpressure — a slow
 //     shard throttles only its own keyslice;
+//   * with --replicas R, warm pools mirror to each key's next R-1 ring
+//     neighbors: a job stuck in flight past max(--hedge-min-ms, its
+//     shard's round-trip p95) is hedged to a replica (same routing
+//     token, first result wins, exactly one client line), twins of a
+//     hot key skip a saturated owner for its least-loaded replica, and
+//     --max-queue-depth sheds the lowest-priority job past the bound
+//     with a "delayed"-tagged error instead of queueing unboundedly;
 //   * a crashed or unresponsive LOCAL shard is respawned with backoff
 //     and rejoins the ring (its unanswered jobs fail over to survivors
 //     first — zero lost jobs; with no survivor they are held and replay
@@ -140,6 +147,14 @@ std::string render_fleet_metrics(const service::ShardRouter& router,
           "jobs moved off a dead shard");
   counter("saim_router_orphaned_total", rs.orphaned,
           "jobs errored because no live shard remained");
+  counter("saim_router_hedges_total", rs.hedges,
+          "hedge copies dispatched to a replica");
+  counter("saim_router_hedge_wins_total", rs.hedge_wins,
+          "jobs whose hedge copy answered before the owner");
+  counter("saim_router_sheds_total", rs.sheds,
+          "jobs shed by admission control with a delayed-tagged error");
+  counter("saim_router_replica_hits_total", rs.replica_hits,
+          "hot-key twins routed to a replica instead of the owner");
   counter("saim_supervisor_respawns_total", sup.respawns,
           "successful local shard re-execs");
   counter("saim_supervisor_remote_reconnects_total", sup.remote_reconnects,
@@ -199,6 +214,9 @@ std::string render_fleet_metrics(const service::ShardRouter& router,
     text.histogram_series("saim_shard_roundtrip_ms", shard_label(s),
                           router.latency_snapshot(s));
   }
+  text.histogram("saim_hedge_win_ms", {}, router.hedge_win_snapshot(),
+                 "round trip of hedge copies that answered before the "
+                 "owner, milliseconds");
   return text.str();
 }
 
@@ -226,6 +244,30 @@ int main(int argc, char** argv) {
                 "make \"warm_start\": true the per-job default on every "
                 "shard")
       .add_flag("window", "max in-flight jobs per shard", "32")
+      .add_flag("replicas",
+                "replication factor R: warm pools/caches mirror to the "
+                "next R-1 shards on the ring, enabling hedged requests "
+                "and hot-key routing (1 disables)",
+                "1")
+      .add_flag("hedge-min-ms",
+                "re-dispatch a job still in flight after max(this, the "
+                "shard's round-trip p95) ms to a replica; first result "
+                "wins (0 disables; needs --replicas >= 2)",
+                "0")
+      .add_flag("max-queue-depth",
+                "admission control: once this many routed jobs wait for "
+                "a window slot, shed the lowest-priority job with a "
+                "\"delayed\"-tagged error (0 = unbounded)",
+                "0")
+      .add_flag("gossip-ms",
+                "re-broadcast every shard's warm pool to its keys' "
+                "replica sets on this interval (0 = only on membership "
+                "changes)",
+                "0")
+      .add_flag("auth-token",
+                "shared secret presented to --connect shards that were "
+                "started with --auth-token",
+                "")
       .add_flag("ping-ms",
                 "health-probe interval; a shard missing 5 pongs is "
                 "terminated and (if local) respawned (0 disables)",
@@ -282,6 +324,13 @@ int main(int argc, char** argv) {
   service::RouterOptions router_options;
   router_options.shards = locals + remotes.size();
   router_options.window = std::max<std::size_t>(1, nonneg("window"));
+  router_options.replicas = std::max<std::size_t>(1, nonneg("replicas"));
+  router_options.hedge_min_ms =
+      std::max(0.0, args.get_double("hedge-min-ms"));
+  router_options.max_queue_depth = nonneg("max-queue-depth");
+  // Hot-key routing bound: one full window queued on the owner means a
+  // twin would wait a whole batch behind it — a replica is cheaper.
+  router_options.hot_key_depth = router_options.window;
 
   std::string serve = args.get("serve");
   if (serve.empty()) serve = sibling_serve_path(argv[0]);
@@ -330,6 +379,8 @@ int main(int argc, char** argv) {
   supervisor_options.max_restarts = static_cast<int>(
       std::max<std::size_t>(1, nonneg("max-restarts")));
   supervisor_options.ping_ms = static_cast<int>(nonneg("ping-ms"));
+  supervisor_options.gossip_ms = static_cast<int>(nonneg("gossip-ms"));
+  supervisor_options.remote_auth_token = args.get("auth-token");
   service::Supervisor supervisor(router, supervisor_options);
   for (std::size_t s = 0; s < locals; ++s) supervisor.attach_local(s);
   for (std::size_t i = 0; i < remotes.size(); ++i) {
@@ -391,8 +442,13 @@ int main(int argc, char** argv) {
   // this many jobs wait for a window slot. The raw-lines side: the reader
   // thread blocks once this many unconsumed lines are buffered, so a fast
   // producer cannot balloon RSS with the whole stream.
-  const std::size_t high_water = router_options.shards *
-                                 router_options.window * 4;
+  // With admission control on, the router's shed bound must engage before
+  // the intake gate stalls parsing, or no job would ever be shed.
+  std::size_t high_water = router_options.shards *
+                           router_options.window * 4;
+  if (router_options.max_queue_depth > 0) {
+    high_water = std::max(high_water, router_options.max_queue_depth + 1);
+  }
   const std::size_t line_buffer_cap = std::max<std::size_t>(high_water * 4,
                                                             4096);
 
