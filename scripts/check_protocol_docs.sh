@@ -40,6 +40,7 @@ if [[ -z "$emitted" || -z "$accepted" || -z "$control" ]]; then
 fi
 
 fail=0
+# shellcheck disable=SC2086  # word splitting intended: one field name per word
 for f in $emitted $accepted $control; do
   if ! grep -q "\`$f\`" "$doc"; then
     echo "PROTOCOL drift: \"$f\" is spoken by the serving layer but not" \
@@ -53,4 +54,4 @@ if [[ $fail -eq 0 ]]; then
           sort -u | wc -l)
   echo "protocol docs OK: all $count field names documented in $doc"
 fi
-exit $fail
+exit "$fail"

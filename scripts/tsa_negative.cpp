@@ -1,0 +1,25 @@
+// Negative test for the thread-safety build: this file must FAIL to
+// compile under `clang++ -Wthread-safety -Werror=thread-safety`.
+//
+// CI's thread-safety job compiles it with exactly those flags and asserts
+// the compiler REJECTS it — proving the gate is live, not just that the
+// annotated tree happens to be quiet (a silently broken -Werror wiring
+// would pass the positive build and fail here). Not part of any CMake
+// target: the build globs tools/ and src/, never scripts/.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Account {
+  saim::util::Mutex mutex;
+  int balance SAIM_GUARDED_BY(mutex) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.balance = 42;  // unguarded write to a guarded member
+  return account.balance;  // unguarded read
+}

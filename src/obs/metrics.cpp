@@ -175,7 +175,7 @@ MetricsRegistry::Entry& MetricsRegistry::get_or_create(const std::string& name,
   if (!valid_metric_name(name)) {
     throw std::invalid_argument("bad metric name '" + name + "'");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     if (it->second.kind != kind) {
@@ -217,7 +217,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
@@ -226,7 +226,7 @@ std::vector<std::string> MetricsRegistry::names() const {
 
 std::optional<HistogramSnapshot> MetricsRegistry::histogram_snapshot(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end() || it->second.kind != Kind::kHistogram) {
     return std::nullopt;
@@ -236,7 +236,7 @@ std::optional<HistogramSnapshot> MetricsRegistry::histogram_snapshot(
 
 std::string MetricsRegistry::render_prometheus() const {
   PromText text;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case Kind::kCounter:

@@ -28,11 +28,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace saim::obs {
 
@@ -150,15 +152,15 @@ class MetricsRegistry {
 
   /// Every registered metric name, sorted (tests: "the scrape returns
   /// every registered series").
-  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<std::string> names() const SAIM_EXCLUDES(mutex_);
 
   /// Read-only snapshot of one histogram by name; std::nullopt when no
   /// histogram is registered under it (readers must not get-or-create).
   [[nodiscard]] std::optional<HistogramSnapshot> histogram_snapshot(
-      const std::string& name) const;
+      const std::string& name) const SAIM_EXCLUDES(mutex_);
 
   /// The whole registry in Prometheus text-exposition format.
-  [[nodiscard]] std::string render_prometheus() const;
+  [[nodiscard]] std::string render_prometheus() const SAIM_EXCLUDES(mutex_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -171,10 +173,13 @@ class MetricsRegistry {
   };
 
   Entry& get_or_create(const std::string& name, const std::string& help,
-                       Kind kind);
+                       Kind kind) SAIM_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  ///< sorted render order
+  mutable util::Mutex mutex_;
+  /// Sorted render order. Entries are never erased, and the metric objects
+  /// live behind unique_ptr, so references handed out by get_or_create stay
+  /// valid without the lock — only the map structure itself is guarded.
+  std::map<std::string, Entry> entries_ SAIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace saim::obs

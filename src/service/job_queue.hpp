@@ -15,10 +15,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace saim::service {
 
@@ -41,9 +43,10 @@ class JobQueue {
 
   /// Enqueues into the priority band. Returns false (item dropped) once
   /// the queue is closed.
-  bool push(T item, Priority priority = Priority::kNormal) {
+  bool push(T item, Priority priority = Priority::kNormal)
+      SAIM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (closed_) return false;
       bands_[band(priority)].push_back(std::move(item));
     }
@@ -53,23 +56,23 @@ class JobQueue {
 
   /// Blocks until an item is available or the queue is closed; nullopt
   /// means closed-and-empty (consumers should exit).
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !empty_locked(); });
+  std::optional<T> pop() SAIM_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (!closed_ && empty_locked()) cv_.wait(lock.native());
     return pop_locked();
   }
 
   /// Non-blocking pop; nullopt when nothing is pending.
-  std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> try_pop() SAIM_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return pop_locked();
   }
 
   /// Stops intake and wakes all blocked consumers. Pending items remain
   /// poppable unless drain()ed first.
-  void close() {
+  void close() SAIM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -83,8 +86,9 @@ class JobQueue {
   /// predicate restricts matches to the popped job's own priority band —
   /// see ServiceOptions::max_batch — this method itself scans all bands).
   template <typename Pred>
-  std::vector<T> drain_matching(std::size_t max, Pred&& pred) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<T> drain_matching(std::size_t max, Pred&& pred)
+      SAIM_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     std::vector<T> out;
     for (std::size_t b = kBands; b-- > 0 && out.size() < max;) {
       for (auto it = bands_[b].begin();
@@ -102,8 +106,8 @@ class JobQueue {
 
   /// Atomically removes and returns every pending item, highest priority
   /// first (FIFO within priority).
-  std::vector<T> drain() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<T> drain() SAIM_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     std::vector<T> out;
     for (std::size_t b = kBands; b-- > 0;) {
       for (auto& item : bands_[b]) out.push_back(std::move(item));
@@ -112,15 +116,15 @@ class JobQueue {
     return out;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const SAIM_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     std::size_t total = 0;
     for (const auto& b : bands_) total += b.size();
     return total;
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool closed() const SAIM_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return closed_;
   }
 
@@ -131,14 +135,14 @@ class JobQueue {
                                                                  : v);
   }
 
-  [[nodiscard]] bool empty_locked() const {
+  [[nodiscard]] bool empty_locked() const SAIM_REQUIRES(mutex_) {
     for (const auto& b : bands_) {
       if (!b.empty()) return false;
     }
     return true;
   }
 
-  std::optional<T> pop_locked() {
+  std::optional<T> pop_locked() SAIM_REQUIRES(mutex_) {
     for (std::size_t b = kBands; b-- > 0;) {
       if (!bands_[b].empty()) {
         T item = std::move(bands_[b].front());
@@ -149,10 +153,10 @@ class JobQueue {
     return std::nullopt;
   }
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable cv_;
-  std::array<std::deque<T>, kBands> bands_;
-  bool closed_ = false;
+  std::array<std::deque<T>, kBands> bands_ SAIM_GUARDED_BY(mutex_);
+  bool closed_ SAIM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace saim::service

@@ -5,7 +5,7 @@
 namespace saim::service {
 
 std::shared_ptr<const core::SolveResult> ResultCache::get(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -44,7 +44,7 @@ void ResultCache::evict_one_locked() {
 void ResultCache::put(std::uint64_t key,
                       std::shared_ptr<const core::SolveResult> value) {
   if (capacity_ == 0 || !value) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->value = std::move(value);
@@ -60,7 +60,7 @@ void ResultCache::put(std::uint64_t key,
 void ResultCache::put_warm(std::uint64_t problem_fp,
                            const ising::Bits& config, double cost) {
   if (warm_capacity_ == 0 || config.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = warm_index_.find(problem_fp);
   if (it == warm_index_.end()) {
     if (warm_lru_.size() >= warm_capacity_) {
@@ -92,7 +92,7 @@ void ResultCache::put_warm(std::uint64_t problem_fp,
 
 std::vector<ising::Bits> ResultCache::warm_samples(std::uint64_t problem_fp) {
   if (warm_capacity_ == 0) return {};
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = warm_index_.find(problem_fp);
   if (it == warm_index_.end() || it->second->samples.empty()) {
     ++stats_.warm_misses;
@@ -109,7 +109,7 @@ std::vector<ising::Bits> ResultCache::warm_samples(std::uint64_t problem_fp) {
 }
 
 std::vector<ResultCache::WarmSnapshot> ResultCache::export_warm() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<WarmSnapshot> out;
   out.reserve(warm_lru_.size());
   for (const auto& entry : warm_lru_) {
@@ -120,22 +120,22 @@ std::vector<ResultCache::WarmSnapshot> ResultCache::export_warm() const {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::size_t ResultCache::warm_pool_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return warm_lru_.size();
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   warm_lru_.clear();

@@ -26,12 +26,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/result.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace saim::service {
 
@@ -66,22 +67,24 @@ class ResultCache {
 
   /// Returns the cached result and bumps it to most-recently-used, or
   /// nullptr on miss. Counts toward stats either way.
-  std::shared_ptr<const core::SolveResult> get(std::uint64_t key);
+  std::shared_ptr<const core::SolveResult> get(std::uint64_t key)
+      SAIM_EXCLUDES(mutex_);
 
   /// Inserts/overwrites; when full, evicts the cheapest-to-recompute entry
   /// among the kEvictionWindow least-recently-used ones.
-  void put(std::uint64_t key, std::shared_ptr<const core::SolveResult> value);
+  void put(std::uint64_t key, std::shared_ptr<const core::SolveResult> value)
+      SAIM_EXCLUDES(mutex_);
 
   /// Offers one feasible full configuration to `problem_fp`'s pool. Kept
   /// only while it ranks among the kWarmSamplesPerProblem best costs;
   /// duplicates of an already-pooled configuration are dropped.
   void put_warm(std::uint64_t problem_fp, const ising::Bits& config,
-                double cost);
+                double cost) SAIM_EXCLUDES(mutex_);
 
   /// The pooled configurations for `problem_fp`, best cost first (empty
   /// when nothing is pooled). Bumps the pool's recency.
-  [[nodiscard]] std::vector<ising::Bits> warm_samples(
-      std::uint64_t problem_fp);
+  [[nodiscard]] std::vector<ising::Bits> warm_samples(std::uint64_t problem_fp)
+      SAIM_EXCLUDES(mutex_);
 
   /// One problem's pooled samples, for cross-process warm handoff.
   struct WarmSnapshot {
@@ -93,13 +96,14 @@ class ResultCache {
   /// Snapshot of the whole warm pool, most recently used problem first.
   /// Recency is NOT bumped (an export is bookkeeping, not demand);
   /// re-import on another process is plain put_warm per sample.
-  [[nodiscard]] std::vector<WarmSnapshot> export_warm() const;
+  [[nodiscard]] std::vector<WarmSnapshot> export_warm() const
+      SAIM_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const SAIM_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const SAIM_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t warm_pool_size() const;
-  void clear();
+  [[nodiscard]] std::size_t warm_pool_size() const SAIM_EXCLUDES(mutex_);
+  void clear() SAIM_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -112,17 +116,19 @@ class ResultCache {
     std::vector<std::pair<double, ising::Bits>> samples;
   };
 
-  void evict_one_locked();
+  void evict_one_locked() SAIM_REQUIRES(mutex_);
 
   std::size_t capacity_;
   std::size_t warm_capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::list<WarmEntry> warm_lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::list<WarmEntry>::iterator>
-      warm_index_;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  std::list<Entry> lru_ SAIM_GUARDED_BY(mutex_);  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      SAIM_GUARDED_BY(mutex_);
+  std::list<WarmEntry> warm_lru_
+      SAIM_GUARDED_BY(mutex_);  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<WarmEntry>::iterator> warm_index_
+      SAIM_GUARDED_BY(mutex_);
+  Stats stats_ SAIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace saim::service

@@ -141,6 +141,7 @@ ShardRouter::ShardRouter(RouterOptions options)
 
 std::vector<std::string> ShardRouter::accept_line(const std::string& line,
                                                   std::size_t line_no) {
+  thread_checker_.assert_current_thread();
   std::vector<std::string> out;
   std::string display_id = "job" + std::to_string(line_no);
   try {
@@ -270,6 +271,7 @@ std::vector<std::string> ShardRouter::accept_line(const std::string& line,
 }
 
 std::vector<std::string> ShardRouter::take_sendable(std::size_t shard) {
+  thread_checker_.assert_current_thread();
   std::vector<std::string> out;
   if (shard >= pending_.size() || !alive_[shard]) return out;
   auto& pending = pending_[shard];
@@ -297,6 +299,7 @@ std::vector<std::string> ShardRouter::take_sendable(std::size_t shard) {
 
 std::vector<std::string> ShardRouter::on_child_line(std::size_t shard,
                                                     const std::string& line) {
+  thread_checker_.assert_current_thread();
   std::vector<std::string> out;
   util::JsonValue parsed;
   try {
@@ -379,6 +382,7 @@ std::vector<std::string> ShardRouter::on_child_line(std::size_t shard,
 }
 
 std::vector<std::string> ShardRouter::on_child_down(std::size_t shard) {
+  thread_checker_.assert_current_thread();
   std::vector<std::string> out;
   if (shard >= alive_.size() || !alive_[shard]) return out;
   alive_[shard] = false;
@@ -459,6 +463,7 @@ std::vector<std::string> ShardRouter::on_child_down(std::size_t shard) {
 }
 
 void ShardRouter::revive_shard(std::size_t shard) {
+  thread_checker_.assert_current_thread();
   if (shard >= alive_.size() || alive_[shard]) return;
   alive_[shard] = true;
   pong_[shard] = false;
@@ -468,6 +473,7 @@ void ShardRouter::revive_shard(std::size_t shard) {
 }
 
 std::size_t ShardRouter::add_shard() {
+  thread_checker_.assert_current_thread();
   const std::size_t shard = alive_.size();
   alive_.push_back(true);
   pending_.emplace_back();
@@ -482,6 +488,7 @@ std::size_t ShardRouter::add_shard() {
 }
 
 void ShardRouter::requeue_inflight(std::size_t shard) {
+  thread_checker_.assert_current_thread();
   if (shard >= inflight_.size() || inflight_[shard].empty()) return;
   std::vector<std::string> tokens(inflight_[shard].begin(),
                                   inflight_[shard].end());
@@ -501,6 +508,7 @@ void ShardRouter::requeue_inflight(std::size_t shard) {
 }
 
 std::size_t ShardRouter::dispatch_hedges() {
+  thread_checker_.assert_current_thread();
   if (options_.hedge_min_ms <= 0.0 || options_.replicas < 2 ||
       ring_.shard_count() < 2) {
     return 0;
@@ -544,6 +552,7 @@ std::size_t ShardRouter::dispatch_hedges() {
 }
 
 bool ShardRouter::take_pong(std::size_t shard) {
+  thread_checker_.assert_current_thread();
   if (shard >= pong_.size()) return false;
   const bool seen = pong_[shard];
   pong_[shard] = false;
@@ -551,6 +560,7 @@ bool ShardRouter::take_pong(std::size_t shard) {
 }
 
 std::optional<std::string> ShardRouter::take_warm_export(std::size_t shard) {
+  thread_checker_.assert_current_thread();
   if (shard >= warm_export_.size()) return std::nullopt;
   std::optional<std::string> out;
   warm_export_[shard].swap(out);
@@ -558,6 +568,7 @@ std::optional<std::string> ShardRouter::take_warm_export(std::size_t shard) {
 }
 
 std::optional<std::string> ShardRouter::take_stats_export(std::size_t shard) {
+  thread_checker_.assert_current_thread();
   if (shard >= stats_export_.size()) return std::nullopt;
   std::optional<std::string> out;
   stats_export_[shard].swap(out);

@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_checker.hpp"
 
 namespace saim::service {
 
@@ -291,6 +292,11 @@ class ShardRouter {
   /// accepted) and returns true (admit the incoming job), or returns
   /// false (shed the incoming job instead: it is not above the floor).
   bool shed_for(int incoming_priority, std::vector<std::string>* out);
+
+  /// Enforces the class comment's "single-threaded by design": mutating
+  /// entry points bind to the first calling thread and abort on any other
+  /// (see util/thread_checker.hpp). Lock-free state stays honest.
+  util::ThreadChecker thread_checker_{"ShardRouter"};
 
   RouterOptions options_;
   HashRing ring_;

@@ -10,6 +10,8 @@
 
 #include "core/batch_solver.hpp"
 #include "problems/fingerprint.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace saim::service {
@@ -42,20 +44,21 @@ struct JobState {
   /// what makes the duplicates harmless.
   std::atomic<bool> started{false};
 
-  std::mutex mutex;
+  util::Mutex mutex;
   std::condition_variable cv;
-  std::shared_ptr<const SolveResponse> response;  ///< set exactly once
+  /// Set exactly once (finish()), then read-only behind the lock.
+  std::shared_ptr<const SolveResponse> response SAIM_GUARDED_BY(mutex);
 
   /// Handles sharing this computation (first submit + coalesced twins)
   /// and how many of them voted to cancel. Guarded by `mutex` — cancel,
   /// coalesce and handle teardown must see each other's updates in order,
   /// or a cancel racing a coalesce could kill the new subscriber's job.
-  std::size_t subscribers = 1;
-  std::size_t cancel_votes = 0;
+  std::size_t subscribers SAIM_GUARDED_BY(mutex) = 1;
+  std::size_t cancel_votes SAIM_GUARDED_BY(mutex) = 0;
 
   /// With `mutex` held: trips the stop iff no live subscriber still wants
   /// the result and the job has not already finished.
-  void maybe_stop_locked() {
+  void maybe_stop_locked() SAIM_REQUIRES(mutex) {
     if (cancel_votes >= subscribers && response == nullptr) {
       stop.request_stop();
     }
@@ -70,30 +73,35 @@ using detail::JobState;
 
 std::shared_ptr<const SolveResponse> JobHandle::wait() const {
   if (!state_) return nullptr;  // invalid handles never block
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [this] { return state_->response != nullptr; });
+  util::MutexLock lock(state_->mutex);
+  while (state_->response == nullptr) state_->cv.wait(lock.native());
   return state_->response;
 }
 
 std::shared_ptr<const SolveResponse> JobHandle::wait_for(
     std::chrono::milliseconds timeout) const {
   if (!state_) return nullptr;
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait_for(lock, timeout,
-                      [this] { return state_->response != nullptr; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(state_->mutex);
+  while (state_->response == nullptr) {
+    if (state_->cv.wait_until(lock.native(), deadline) ==
+        std::cv_status::timeout) {
+      break;
+    }
+  }
   return state_->response;
 }
 
 std::shared_ptr<const SolveResponse> JobHandle::try_get() const {
   if (!state_) return nullptr;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   return state_->response;
 }
 
 bool JobHandle::cancel() {
   if (!state_ || cancel_voted_) return false;
   cancel_voted_ = true;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   ++state_->cancel_votes;
   if (state_->cancel_votes < state_->subscribers ||
       state_->response != nullptr) {
@@ -106,7 +114,7 @@ bool JobHandle::cancel() {
 void JobHandle::release() noexcept {
   if (!state_) return;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    util::MutexLock lock(state_->mutex);
     if (!cancel_voted_) {
       // A handle dropped without voting no longer counts toward the
       // cancellation quorum — otherwise one discarded twin handle would
@@ -229,7 +237,7 @@ std::uint64_t SolveService::problem_fingerprint(
     const std::shared_ptr<const problems::ConstrainedProblem>& problem) {
   const void* key = problem.get();
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::MutexLock lock(memo_mutex_);
     const auto it = problem_fp_memo_.find(key);
     if (it != problem_fp_memo_.end()) {
       // The memo is only valid while the original object is alive — an
@@ -241,7 +249,7 @@ std::uint64_t SolveService::problem_fingerprint(
   }
   const std::uint64_t fp = problems::fingerprint(*problem);
   constexpr std::size_t kMemoCapacity = 1024;
-  std::lock_guard<std::mutex> lock(memo_mutex_);
+  util::MutexLock lock(memo_mutex_);
   if (problem_fp_memo_.size() >= kMemoCapacity) {
     // Prune dead handles first; if every entry is still live (a huge
     // all-distinct job stream), drop an arbitrary one — the memo is a
@@ -273,7 +281,7 @@ JobHandle SolveService::submit(SolveRequest request) {
   job->submitted_at = std::chrono::steady_clock::now();
 
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    util::MutexLock lock(inflight_mutex_);
     if (!accepting_) {
       throw std::runtime_error("SolveService::submit after shutdown");
     }
@@ -300,7 +308,13 @@ JobHandle SolveService::submit(SolveRequest request) {
                                                       job->submitted_at)
                 .count();
         hist_total_ms_.observe(response->timing.total_ms);
-        job->response = std::move(response);
+        {
+          // `job` is still thread-local here, but response is guarded
+          // state: take the (uncontended) lock so the store is ordered
+          // for any thread the returned handle travels to.
+          util::MutexLock job_lock(job->mutex);
+          job->response = std::move(response);
+        }
         return JobHandle(std::move(job));
       }
     }
@@ -323,7 +337,7 @@ JobHandle SolveService::submit(SolveRequest request) {
           // visible before a cancel quorum is evaluated, or the stop is
           // already requested and we decline — a joiner can never be
           // handed a cancellation it did not vote for.
-          std::lock_guard<std::mutex> job_lock(twin->mutex);
+          util::MutexLock job_lock(twin->mutex);
           if (!twin->stop.stop_requested()) {
             ++twin->subscribers;
             joined = true;
@@ -606,14 +620,14 @@ void SolveService::finish(const std::shared_ptr<JobState>& job,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    util::MutexLock lock(inflight_mutex_);
     const auto it = inflight_.find(job->fingerprint);
     if (it != inflight_.end() && it->second.lock() == job) {
       inflight_.erase(it);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    util::MutexLock lock(job->mutex);
     job->response = std::move(response);
   }
   job->cv.notify_all();
@@ -622,7 +636,7 @@ void SolveService::finish(const std::shared_ptr<JobState>& job,
 void SolveService::shutdown() {
   std::call_once(shutdown_once_, [this] {
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      util::MutexLock lock(inflight_mutex_);
       accepting_ = false;
     }
     // Fail everything still queued; running jobs finish cooperatively.

@@ -47,8 +47,10 @@
 #include "service/backend_factory.hpp"
 #include "service/job_queue.hpp"
 #include "service/result_cache.hpp"
+#include "util/mutex.hpp"
 #include "util/parallel.hpp"
 #include "util/stop_token.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace saim::service {
 
@@ -208,7 +210,7 @@ class SolveService {
   /// Enqueues a request (or serves it from cache / joins it onto an
   /// in-flight twin). Throws std::invalid_argument on a null problem and
   /// std::runtime_error after shutdown().
-  JobHandle submit(SolveRequest request);
+  JobHandle submit(SolveRequest request) SAIM_EXCLUDES(inflight_mutex_);
 
   /// Stops intake, completes queued-but-unstarted jobs as kCancelled,
   /// waits for running jobs to finish, joins the workers. Idempotent.
@@ -281,7 +283,8 @@ class SolveService {
   /// Stamps the response's timing/finished_at from the job's stage
   /// timestamps, records the latency histograms, then publishes it.
   void finish(const std::shared_ptr<detail::JobState>& job,
-              std::shared_ptr<SolveResponse> response);
+              std::shared_ptr<SolveResponse> response)
+      SAIM_EXCLUDES(inflight_mutex_);
   void record_outcome(const std::shared_ptr<detail::JobState>& job,
                       const std::shared_ptr<core::SolveResult>& result);
 
@@ -291,7 +294,8 @@ class SolveService {
   /// address reuse after the instance dies, so stale memo hits are
   /// impossible.
   std::uint64_t problem_fingerprint(
-      const std::shared_ptr<const problems::ConstrainedProblem>& problem);
+      const std::shared_ptr<const problems::ConstrainedProblem>& problem)
+      SAIM_EXCLUDES(memo_mutex_);
 
   ServiceOptions options_;
   obs::MetricsRegistry registry_;
@@ -300,17 +304,18 @@ class SolveService {
   obs::Histogram& hist_setup_ms_;
   obs::Histogram& hist_solve_ms_;
   obs::Histogram& hist_total_ms_;
-  std::mutex memo_mutex_;
+  util::Mutex memo_mutex_;
   std::unordered_map<
       const void*,
       std::pair<std::weak_ptr<const problems::ConstrainedProblem>,
                 std::uint64_t>>
-      problem_fp_memo_;
+      problem_fp_memo_ SAIM_GUARDED_BY(memo_mutex_);
   ResultCache cache_;
   JobQueue<std::shared_ptr<detail::JobState>> queue_;
-  std::mutex inflight_mutex_;
-  std::unordered_map<std::uint64_t, std::weak_ptr<detail::JobState>> inflight_;
-  bool accepting_ = true;  ///< guarded by inflight_mutex_
+  util::Mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, std::weak_ptr<detail::JobState>> inflight_
+      SAIM_GUARDED_BY(inflight_mutex_);
+  bool accepting_ SAIM_GUARDED_BY(inflight_mutex_) = true;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> executed_{0};

@@ -8,13 +8,14 @@
 #include <cinttypes>
 #include <cstdio>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <thread>
 
 #include "core/report.hpp"
 #include "service/job_parser.hpp"
 #include "service/service_stats.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace saim::service {
 
@@ -175,6 +176,19 @@ struct PendingJob {
   [[nodiscard]] bool barrier() const { return drain || bye || export_warm; }
 };
 
+/// Stream-mode state shared between the reader (main) thread and the
+/// emitter thread. A named struct, not locals, so the guarded members can
+/// carry thread-safety annotations (attributes cannot attach to
+/// function-local variables). Batch mode uses it too — uncontended, the
+/// emitter thread only exists with --stream — so the two paths stay
+/// identical.
+struct EmitQueue {
+  util::Mutex mutex;
+  std::vector<PendingJob> jobs SAIM_GUARDED_BY(mutex);
+  std::vector<std::size_t> unemitted SAIM_GUARDED_BY(mutex);  ///< in order
+  bool input_done SAIM_GUARDED_BY(mutex) = false;
+};
+
 }  // namespace
 
 SessionResult run_stream_session(SolveService& service, SessionIO& io,
@@ -259,11 +273,8 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
     return ack.str();
   };
 
-  std::vector<PendingJob> jobs;
-  std::vector<std::size_t> unemitted;  ///< indices into `jobs`, in order
-  std::mutex jobs_mutex;  ///< stream mode: guards jobs/unemitted/render
-  bool input_done = false;  ///< guarded by jobs_mutex
-  std::mutex out_mutex;  ///< serializes the sink between emitter and pongs
+  EmitQueue q;
+  util::Mutex out_mutex;  ///< serializes the sink between emitter and pongs
 
   // Stream mode emits from a dedicated thread so completions surface the
   // moment they happen — even while the main thread is blocked in
@@ -277,6 +288,11 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
   // be skipped. A drain/shutdown barrier emits only once every entry
   // before it has — jobs after it may still overtake it, matching the
   // contract that "drained" certifies the PAST, not the future.
+  //
+  // The sweep is a hand-written compaction loop rather than erase_if: the
+  // analysis treats a lambda body as its own (lock-free) function, so a
+  // predicate touching q.jobs/q.unemitted could not be checked against
+  // the lock held out here.
   std::thread emitter;
   if (stream) {
     emitter = std::thread([&] {
@@ -285,27 +301,33 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
         bool done;
         bool all_emitted;
         {
-          std::lock_guard<std::mutex> lock(jobs_mutex);
+          util::MutexLock lock(q.mutex);
           bool blocked = false;  // an earlier entry is still unfinished
-          std::erase_if(unemitted, [&](std::size_t i) {
-            PendingJob& job = jobs[i];
+          std::size_t kept = 0;
+          for (std::size_t n = 0; n < q.unemitted.size(); ++n) {
+            const std::size_t i = q.unemitted[n];
+            PendingJob& job = q.jobs[i];
             if (job.barrier()) {
-              if (blocked) return false;
-              lines.push_back(render_barrier(job));
-              return true;
+              if (blocked) {
+                q.unemitted[kept++] = i;
+              } else {
+                lines.push_back(render_barrier(job));
+              }
+              continue;
             }
             if (job.handle.valid() && !job.handle.try_get()) {
               blocked = true;
-              return false;
+              q.unemitted[kept++] = i;
+              continue;
             }
             lines.push_back(render(job));
-            return true;
-          });
-          all_emitted = unemitted.empty();
-          done = input_done;
+          }
+          q.unemitted.resize(kept);
+          all_emitted = q.unemitted.empty();
+          done = q.input_done;
         }
         if (!lines.empty()) {
-          std::lock_guard<std::mutex> lock(out_mutex);
+          util::MutexLock lock(out_mutex);
           for (const auto& l : lines) io.write_line(l);
           io.flush();  // a coprocess is waiting on these completions
         }
@@ -338,16 +360,16 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
           // — rejected lines and barriers are not load.
           std::size_t inflight = 0;
           {
-            std::lock_guard<std::mutex> lock(jobs_mutex);
-            for (const std::size_t i : unemitted) {
-              if (jobs[i].handle.valid()) ++inflight;
+            util::MutexLock lock(q.mutex);
+            for (const std::size_t i : q.unemitted) {
+              if (q.jobs[i].handle.valid()) ++inflight;
             }
           }
           util::JsonWriter pong;
           pong.field("id", pending.id)
               .field("pong", true)
               .field("inflight", static_cast<std::uint64_t>(inflight));
-          std::lock_guard<std::mutex> lock(out_mutex);
+          util::MutexLock lock(out_mutex);
           io.write_line(pong.str());
           io.flush();  // a probe's whole point is promptness
           continue;
@@ -360,7 +382,7 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
           util::JsonWriter reply;
           reply.field("id", pending.id)
               .raw_field("service", service_stats_json(service));
-          std::lock_guard<std::mutex> lock(out_mutex);
+          util::MutexLock lock(out_mutex);
           io.write_line(reply.str());
           io.flush();
           continue;
@@ -372,7 +394,7 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
           util::JsonWriter reply;
           reply.field("id", pending.id)
               .field("imported", static_cast<std::uint64_t>(imported));
-          std::lock_guard<std::mutex> lock(out_mutex);
+          util::MutexLock lock(out_mutex);
           io.write_line(reply.str());
           io.flush();
           continue;
@@ -410,21 +432,25 @@ SessionResult run_stream_session(SolveService& service, SessionIO& io,
     {
       // Uncontended in batch mode (the emitter thread only exists with
       // --stream), so one always-locked push keeps the paths identical.
-      std::lock_guard<std::mutex> lock(jobs_mutex);
-      jobs.push_back(std::move(pending));
-      unemitted.push_back(jobs.size() - 1);
+      util::MutexLock lock(q.mutex);
+      q.jobs.push_back(std::move(pending));
+      q.unemitted.push_back(q.jobs.size() - 1);
     }
     if (stop_reading) break;
   }
 
   if (stream) {
     {
-      std::lock_guard<std::mutex> lock(jobs_mutex);
-      input_done = true;
+      util::MutexLock lock(q.mutex);
+      q.input_done = true;
     }
     emitter.join();  // drains every remaining completion, then exits
   } else {
-    for (auto& job : jobs) {
+    // No emitter thread exists, but q.jobs is guarded state: hold the
+    // (uncontended) lock for the final sweep so the access is annotated.
+    // render() may block in handle.wait(); nothing else wants the lock.
+    util::MutexLock lock(q.mutex);
+    for (auto& job : q.jobs) {
       io.write_line(job.barrier() ? render_barrier(job) : render(job));
     }
     io.flush();  // batch mode: one flush for the whole run

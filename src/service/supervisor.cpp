@@ -42,6 +42,7 @@ void Supervisor::ensure_slot(std::size_t slot) {
 }
 
 void Supervisor::attach_local(std::size_t slot) {
+  thread_checker_.assert_current_thread();
   if (slot >= router_.shard_slots()) {
     throw std::logic_error("Supervisor: slot beyond the router's shards");
   }
@@ -57,6 +58,7 @@ void Supervisor::attach_local(std::size_t slot) {
 
 void Supervisor::attach_remote(std::size_t slot, const std::string& host,
                                int port) {
+  thread_checker_.assert_current_thread();
   if (slot >= router_.shard_slots()) {
     throw std::logic_error("Supervisor: slot beyond the router's shards");
   }
@@ -91,6 +93,7 @@ std::size_t Supervisor::desired_locals() const {
 }
 
 std::vector<std::string> Supervisor::pump(int poll_ms) {
+  thread_checker_.assert_current_thread();
   std::vector<std::string> out;
   std::swap(out, deferred_out_);
   const auto now = Clock::now();
@@ -195,6 +198,7 @@ std::vector<std::string> Supervisor::pump(int poll_ms) {
 }
 
 void Supervisor::request_fleet_stats(const std::string& reply_id) {
+  thread_checker_.assert_current_thread();
   StatsProbe probe;
   probe.reply_id = reply_id;
   probe.deadline = Clock::now() + std::chrono::milliseconds(2000);
@@ -398,6 +402,7 @@ bool Supervisor::try_respawn(std::size_t s, std::vector<std::string>* out) {
 }
 
 std::size_t Supervisor::reshard(std::size_t target_locals) {
+  thread_checker_.assert_current_thread();
   // A fleet with no remote members must keep at least one local shard —
   // an empty ring rejects every job.
   std::size_t live_remotes = 0;
@@ -574,6 +579,7 @@ void Supervisor::send_health_pings() {
 }
 
 void Supervisor::shutdown_fleet(int grace_ms) {
+  thread_checker_.assert_current_thread();
   for (Slot& slot : slots_) {
     slot.want = false;
     slot.respawn_pending = false;

@@ -58,6 +58,7 @@
 
 #include "net/shard_endpoint.hpp"
 #include "service/shard_router.hpp"
+#include "util/thread_checker.hpp"
 
 namespace saim::service {
 
@@ -207,6 +208,10 @@ class Supervisor {
   /// Emits every complete (or expired) fleet-stats aggregation.
   void advance_stats_probes(std::vector<std::string>* out);
   [[nodiscard]] std::string fleet_stats_line(const StatsProbe& probe) const;
+
+  /// Same contract as ShardRouter: one loop owns this object; entry
+  /// points abort when entered from a second thread.
+  util::ThreadChecker thread_checker_{"Supervisor"};
 
   ShardRouter& router_;
   SupervisorOptions options_;

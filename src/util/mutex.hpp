@@ -1,0 +1,69 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so
+// -Wthread-safety cannot see std::lock_guard acquire anything — every
+// SAIM_GUARDED_BY member would warn on every access. These wrappers are
+// the thinnest possible annotated veneer:
+//
+//   util::Mutex      — a std::mutex declared SAIM_CAPABILITY; guard
+//                      members with SAIM_GUARDED_BY(mutex_).
+//   util::MutexLock  — the scoped lock (std::unique_lock underneath),
+//                      declared SAIM_SCOPED_CAPABILITY. Condition-variable
+//                      waits go through native(): the analysis does not
+//                      model wait()'s unlock/relock, which is sound — the
+//                      capability is held at every point the analysis can
+//                      observe (before and after the wait).
+//
+// Zero overhead: every method is a forwarding inline, and on non-Clang
+// builds the attributes vanish entirely. Predicated waits are written as
+// explicit `while (!pred_locked()) cv.wait(lock.native())` loops so the
+// predicate lives in a SAIM_REQUIRES member function the analysis can
+// check — a lambda passed to cv.wait(lock, pred) is analyzed as its own
+// unannotated function and would warn on every guarded access.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace saim::util {
+
+class SAIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SAIM_ACQUIRE() { m_.lock(); }
+  void unlock() SAIM_RELEASE() { m_.unlock(); }
+  bool try_lock() SAIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable interop only (via
+  /// MutexLock::native()); do not lock it directly — the analysis would
+  /// not see the acquisition.
+  [[nodiscard]] std::mutex& native_handle() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+class SAIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SAIM_ACQUIRE(mutex)
+      : lock_(mutex.native_handle()) {}
+  ~MutexLock() SAIM_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable::wait(lock.native()) — wait's transient
+  /// unlock/relock is invisible to the analysis (see file comment).
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace saim::util

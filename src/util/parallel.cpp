@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::submit after shutdown");
     }
@@ -35,7 +35,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
@@ -50,8 +50,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(lock.native());
       if (tasks_.empty()) return;  // stopping_ with an empty queue
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -75,7 +75,7 @@ void parallel_for(std::size_t count,
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   auto worker = [&] {
     for (;;) {
@@ -88,7 +88,7 @@ void parallel_for(std::size_t count,
         // First failure wins; stop claiming new items so the wasted work
         // is bounded by what was already in flight.
         cancelled.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
         return;
       }

@@ -19,9 +19,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace saim::util {
 
@@ -43,20 +45,22 @@ class ThreadPool {
 
   /// Enqueues a task for the next free worker. Throws std::runtime_error
   /// after shutdown() has begun.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SAIM_EXCLUDES(mutex_);
 
   /// Stops accepting tasks, runs everything already queued, joins the
   /// workers. Idempotent; called by the destructor.
-  void shutdown();
+  void shutdown() SAIM_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() SAIM_EXCLUDES(mutex_);
 
+  /// Touched only by the constructor and shutdown() — the joining thread;
+  /// workers never see their own handles, so no guard is needed.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> tasks_ SAIM_GUARDED_BY(mutex_);
+  bool stopping_ SAIM_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, count). `threads` == 0 picks

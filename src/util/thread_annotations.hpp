@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis annotations (no-ops elsewhere).
+//
+// These macros wrap Clang's -Wthread-safety attributes so every
+// mutex-guarded invariant in the codebase is machine-checked at compile
+// time: a member declared SAIM_GUARDED_BY(mutex_) cannot be read or
+// written without mutex_ held, a function declared SAIM_REQUIRES(mutex_)
+// cannot be called without it, and the build fails (CI's thread-safety
+// job compiles with -Werror=thread-safety) instead of the race shipping.
+// GCC and MSVC see empty macros; the annotations carry zero runtime cost
+// everywhere.
+//
+// The analysis only understands capability-annotated lock types, and
+// libstdc++'s std::mutex carries no attributes — guard members with
+// util::Mutex and lock with util::MutexLock (util/mutex.hpp), the
+// annotated wrappers, not std::mutex/std::lock_guard directly.
+//
+// Attribute reference:
+//   https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__)
+#define SAIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SAIM_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Declares a type to BE a capability (a lock): util::Mutex.
+#define SAIM_CAPABILITY(x) SAIM_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor: util::MutexLock.
+#define SAIM_SCOPED_CAPABILITY SAIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the named mutex held.
+#define SAIM_GUARDED_BY(x) SAIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE is guarded (the pointer itself is free).
+#define SAIM_PT_GUARDED_BY(x) SAIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only with the named mutex(es) already held — the
+/// *_locked() helper convention, enforced.
+#define SAIM_REQUIRES(...) \
+  SAIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function callable only with the named mutex(es) NOT held (deadlock
+/// guard for public entry points that lock internally).
+#define SAIM_EXCLUDES(...) SAIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it past return.
+#define SAIM_ACQUIRE(...) \
+  SAIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define SAIM_RELEASE(...) \
+  SAIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define SAIM_TRY_ACQUIRE(result, ...) \
+  SAIM_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define SAIM_RETURN_CAPABILITY(x) SAIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — disables the analysis for one function. Every use must
+/// carry a comment explaining why the invariant holds anyway.
+#define SAIM_NO_THREAD_SAFETY_ANALYSIS \
+  SAIM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -62,7 +62,6 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -78,6 +77,8 @@
 #include "util/cli.hpp"
 #include "util/jsonl.hpp"
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace {
 
@@ -86,6 +87,24 @@ using namespace saim;
 volatile std::sig_atomic_t g_signal = 0;
 
 void on_signal(int) { g_signal = 1; }
+
+/// The latest pre-rendered Prometheus payload, published by the main loop
+/// every ~250 ms and served by the MetricsServer scrape thread. A named
+/// struct (not locals) so the shared string carries a thread-safety
+/// annotation — attributes cannot attach to function-local variables.
+struct MetricsPublisher {
+  util::Mutex mutex;
+  std::string payload SAIM_GUARDED_BY(mutex);
+};
+
+/// Raw input lines, moved from the reader thread to the main pump loop
+/// with a bounded buffer (the reader blocks on `cv` when full).
+struct LineIntake {
+  util::Mutex mutex;
+  std::condition_variable cv;  ///< reader waits here for buffer room
+  std::deque<std::string> lines SAIM_GUARDED_BY(mutex);
+  bool input_done SAIM_GUARDED_BY(mutex) = false;
+};
 
 /// saim_serve is expected to sit next to saim_shard unless --serve says
 /// otherwise.
@@ -395,9 +414,12 @@ int main(int argc, char** argv) {
   // --metrics: one background scrape thread serving the latest
   // pre-rendered exposition. The router and supervisor are single-threaded
   // (owned by this loop), so the server never reads them directly — the
-  // loop republishes `metrics_payload` under the mutex every ~250 ms.
-  std::mutex metrics_mutex;
-  std::string metrics_payload = render_fleet_metrics(router, supervisor);
+  // loop republishes the payload under the mutex every ~250 ms.
+  MetricsPublisher metrics_pub;
+  {
+    util::MutexLock lock(metrics_pub.mutex);
+    metrics_pub.payload = render_fleet_metrics(router, supervisor);
+  }
   std::unique_ptr<obs::MetricsServer> metrics_server;
   const std::string metrics_spec = args.get("metrics");
   if (!metrics_spec.empty()) {
@@ -409,9 +431,9 @@ int main(int argc, char** argv) {
     }
     try {
       metrics_server = std::make_unique<obs::MetricsServer>(
-          hostport->host, hostport->port, [&metrics_mutex, &metrics_payload] {
-            std::lock_guard<std::mutex> lock(metrics_mutex);
-            return metrics_payload;
+          hostport->host, hostport->port, [&metrics_pub] {
+            util::MutexLock lock(metrics_pub.mutex);
+            return metrics_pub.payload;
           });
     } catch (const std::exception& e) {
       util::log_error() << "saim_shard: " << e.what();
@@ -454,19 +476,18 @@ int main(int argc, char** argv) {
 
   // Input on its own thread so a slow producer never stalls the pumps
   // (same pattern as saim_serve's emitter, mirrored to the read side).
-  std::mutex lines_mutex;
-  std::condition_variable lines_cv;  ///< reader waits for buffer room
-  std::deque<std::string> lines;
-  bool input_done = false;
+  LineIntake intake;
   std::thread reader([&] {
     std::string line;
     while (std::getline(in, line)) {
-      std::unique_lock<std::mutex> lock(lines_mutex);
-      lines_cv.wait(lock, [&] { return lines.size() < line_buffer_cap; });
-      lines.push_back(std::move(line));
+      util::MutexLock lock(intake.mutex);
+      while (intake.lines.size() >= line_buffer_cap) {
+        intake.cv.wait(lock.native());
+      }
+      intake.lines.push_back(std::move(line));
     }
-    std::lock_guard<std::mutex> lock(lines_mutex);
-    input_done = true;
+    util::MutexLock lock(intake.mutex);
+    intake.input_done = true;
   });
 
   const auto emit = [&](const std::vector<std::string>& emitted) {
@@ -492,8 +513,8 @@ int main(int argc, char** argv) {
         std::chrono::steady_clock::now() >= next_metrics_refresh) {
       std::string rendered = render_fleet_metrics(router, supervisor);
       {
-        std::lock_guard<std::mutex> lock(metrics_mutex);
-        metrics_payload = std::move(rendered);
+        util::MutexLock lock(metrics_pub.mutex);
+        metrics_pub.payload = std::move(rendered);
       }
       next_metrics_refresh =
           std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
@@ -505,16 +526,16 @@ int main(int argc, char** argv) {
     for (;;) {
       std::string line;
       {
-        std::lock_guard<std::mutex> lock(lines_mutex);
-        done = (input_done && lines.empty()) || !intake_open;
-        if (!intake_open || lines.empty() ||
+        util::MutexLock lock(intake.mutex);
+        done = (intake.input_done && intake.lines.empty()) || !intake_open;
+        if (!intake_open || intake.lines.empty() ||
             router.total_pending() >= high_water) {
           break;
         }
-        line = std::move(lines.front());
-        lines.pop_front();
+        line = std::move(intake.lines.front());
+        intake.lines.pop_front();
       }
-      lines_cv.notify_one();
+      intake.cv.notify_one();
       ++line_no;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
 
@@ -634,8 +655,8 @@ int main(int argc, char** argv) {
   // (signal/shutdown path). Joining would hang; exiting without static
   // teardown is safe — everything worth flushing was flushed above.
   {
-    std::lock_guard<std::mutex> lock(lines_mutex);
-    if (!input_done) {
+    util::MutexLock lock(intake.mutex);
+    if (!intake.input_done) {
       std::fflush(nullptr);
       std::_Exit(code);
     }
