@@ -1,10 +1,11 @@
 // Service-layer throughput bench: jobs/sec of SolveService on a mixed
 // QKP/MKP job stream at 1/4/8 workers, plus the cache hit-rate when the
 // stream repeats itself, plus the same-instance batching and warm-start
-// wins. Every phase also records per-job end-to-end latency into an
-// obs::Histogram and reports count/mean/p50/p95/p99 (closed-loop — each
-// wave submits everything then waits; an open-loop generator is a future
-// ROADMAP item). Writes BENCH_service.json.
+// wins. Every phase records per-job end-to-end latency into an
+// obs::Histogram and reports count/mean/p50/p95/p99; most phases are
+// closed-loop (each wave submits everything then waits), and the
+// open_loop phase (bench/load_gen) measures the TCP front door at fixed
+// arrival rates free of coordinated omission. Writes BENCH_service.json.
 //
 // Four phases:
 //   * scaling — a stream of unique jobs (distinct seeds, cache off) timed
@@ -38,6 +39,15 @@
 //     other shard idles; under R=2 twins spread over the replica set, so
 //     R=2 should beat R=1 on multicore boxes and the JSON records the
 //     speedup plus how many twins were replica-routed.
+//   * open_loop — the event-driven `saim_serve --listen` front door
+//     under an open-loop generator (bench/load_gen.hpp): jobs arrive on
+//     a fixed Poisson schedule at several rates and latency is measured
+//     from each job's SCHEDULED send time, so queueing delay at
+//     saturation is measured, not coordinated-omitted away.
+//   * front_door — the same closed-loop sharded wave through ONE
+//     `saim_serve --listen` server, event loop vs --threaded: the
+//     event-driven default must not cost throughput against the
+//     thread-per-connection server it replaces.
 //   * hedge — the mixed stream through 2 shards with hedging on
 //     (R=2, window >= jobs so everything is in flight), then one shard is
 //     SIGSTOPped mid-wave: no EOF ever fires, so hedged re-dispatch to
@@ -57,6 +67,7 @@
 #include <thread>
 #include <vector>
 
+#include "load_gen.hpp"
 #include "net/socket_child.hpp"
 #include "obs/metrics.hpp"
 #include "problems/mkp.hpp"
@@ -197,31 +208,51 @@ std::vector<std::unique_ptr<net::ShardEndpoint>> spawn_pipe_fleet(
   return children;
 }
 
+/// Spawns one loopback `saim_serve --listen` server (streaming, cache
+/// off) with `extra_args` appended, parks the process in `servers`, and
+/// returns its bound port — 0 when it fails to come up in time.
+int spawn_listen_server(
+    const std::string& serve, const std::string& tag, std::size_t workers,
+    const std::vector<std::string>& extra_args,
+    std::vector<std::unique_ptr<service::ProcessChild>>* servers) {
+  const std::string port_file = "bench_listen_port_" + tag + ".tmp";
+  std::remove(port_file.c_str());
+  std::vector<std::string> argv{serve,
+                                "--listen",
+                                "127.0.0.1:0",
+                                "--port-file",
+                                port_file,
+                                "--stream",
+                                "--workers",
+                                std::to_string(workers),
+                                "--cache",
+                                "0"};
+  argv.insert(argv.end(), extra_args.begin(), extra_args.end());
+  servers->push_back(std::make_unique<service::ProcessChild>(argv));
+  int port = 0;
+  for (int spin = 0; spin < 5000 && port == 0; ++spin) {
+    std::ifstream pf(port_file);
+    if (!(pf >> port)) {
+      port = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::remove(port_file.c_str());
+  return port;
+}
+
 /// Spawns `shards` loopback `saim_serve --listen` servers and connects a
 /// SocketChild to each. The listener processes ride along in `servers`
 /// (torn down by the caller when the endpoints close). Returns an empty
 /// endpoint vector when a server fails to come up in time.
 std::vector<std::unique_ptr<net::ShardEndpoint>> spawn_socket_fleet(
     const std::string& serve, std::size_t shards,
-    std::vector<std::unique_ptr<service::ProcessChild>>* servers) {
+    std::vector<std::unique_ptr<service::ProcessChild>>* servers,
+    const std::vector<std::string>& extra_args = {}) {
   std::vector<std::unique_ptr<net::ShardEndpoint>> endpoints;
   for (std::size_t s = 0; s < shards; ++s) {
-    const std::string port_file =
-        "bench_listen_port_" + std::to_string(s) + ".tmp";
-    std::remove(port_file.c_str());
-    servers->push_back(std::make_unique<service::ProcessChild>(
-        std::vector<std::string>{serve, "--listen", "127.0.0.1:0",
-                                 "--port-file", port_file, "--stream",
-                                 "--workers", "1", "--cache", "0"}));
-    int port = 0;
-    for (int spin = 0; spin < 5000 && port == 0; ++spin) {
-      std::ifstream pf(port_file);
-      if (!(pf >> port)) {
-        port = 0;
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
-    }
-    std::remove(port_file.c_str());
+    const int port = spawn_listen_server(serve, std::to_string(s),
+                                         /*workers=*/1, extra_args, servers);
     if (port == 0) return {};
     endpoints.push_back(
         std::make_unique<net::SocketChild>("127.0.0.1", port));
@@ -552,6 +583,95 @@ int main(int argc, char** argv) {
         .field("pipe_over_socket_1shard", socket_overhead);
   }
 
+  // ------------------------------------------------------ open-loop phase
+  // The event-driven front door under fixed arrival rates. One server,
+  // 4 workers; each rate gets a fresh connection and a fresh Poisson
+  // schedule of tiny hot-instance jobs. Latency is measured from each
+  // job's SCHEDULED send time (bench/load_gen.hpp), so when a rate
+  // exceeds capacity the growing queue shows up as growing quantiles
+  // instead of silently stretching the schedule.
+  util::JsonWriter open_loop_json;
+  if (::access(serve.c_str(), X_OK) != 0) {
+    std::printf("  open_loop: skipped ('%s' not executable)\n", serve.c_str());
+    open_loop_json.field("skipped", true);
+  } else {
+    std::vector<std::unique_ptr<service::ProcessChild>> servers;
+    const int port = spawn_listen_server(serve, "openloop", /*workers=*/4,
+                                         {}, &servers);
+    if (port == 0) {
+      std::printf("  open_loop: skipped (server failed to start)\n");
+      open_loop_json.field("skipped", true);
+    } else {
+      const double rates[] = {50.0, 100.0, 200.0};
+      std::string rows = "[";
+      bool all_completed = true;
+      for (std::size_t r = 0; r < 3; ++r) {
+        bench::LoadGenOptions options;
+        options.rate_per_sec = rates[r];
+        options.total_jobs = static_cast<std::size_t>(rates[r] * 2.0);
+        options.seed = r + 1;
+        const auto report = bench::run_open_loop(
+            "127.0.0.1", port, options, [&](std::size_t i) {
+              util::JsonWriter line;
+              line.field("id", "ol" + std::to_string(i))
+                  .field("gen",
+                         "qkp:30-25-" + std::to_string(i % 4 + 1))
+                  .field("iterations", std::uint64_t{2})
+                  .field("sweeps", std::uint64_t{30})
+                  .field("seed", static_cast<std::uint64_t>(i + 1))
+                  .field("cache", false);
+              return line.take();
+            });
+        all_completed = all_completed && report.completed_all();
+        std::printf("  open loop %5.0f jobs/sec offered: %zu/%zu done, "
+                    "sched-send p50/p99/p99.9 %.1f/%.1f/%.1f ms\n",
+                    rates[r], report.completed, report.sent,
+                    report.latency.quantile(0.50),
+                    report.latency.quantile(0.99),
+                    report.latency.quantile(0.999));
+        rows += (r ? "," : "") + bench::load_gen_report_json(report);
+      }
+      rows += "]";
+      for (auto& server : servers) server->terminate();
+      open_loop_json.field("skipped", false)
+          .field("workers", std::uint64_t{4})
+          .field("all_completed", all_completed)
+          .raw_field("rates", rows);
+    }
+  }
+
+  // ----------------------------------------------------- front-door phase
+  // Closed-loop control experiment for the event-driven default: the
+  // same wave through one --listen server, event loop vs --threaded.
+  // Identical protocol bytes by construction; this pins the throughput.
+  util::JsonWriter front_door_json;
+  if (::access(serve.c_str(), X_OK) != 0) {
+    front_door_json.field("skipped", true);
+  } else {
+    const auto lines = make_job_lines(jobs, instances, n, iterations, sweeps);
+    double flavour_jps[2] = {0.0, 0.0};
+    const char* flavour_names[] = {"event", "threaded"};
+    for (int f = 0; f < 2; ++f) {
+      std::vector<std::string> extra;
+      if (f == 1) extra.push_back("--threaded");
+      std::vector<std::unique_ptr<service::ProcessChild>> servers;
+      const double seconds = run_sharded_wave(
+          spawn_socket_fleet(serve, 1, &servers, extra), lines);
+      for (auto& server : servers) server->terminate();
+      flavour_jps[f] =
+          seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
+      std::printf("  front door (%s): %6.2f jobs/sec\n", flavour_names[f],
+                  flavour_jps[f]);
+    }
+    const double ratio =
+        flavour_jps[1] > 0 ? flavour_jps[0] / flavour_jps[1] : 0.0;
+    std::printf("  event loop vs threaded: %.2fx\n", ratio);
+    front_door_json.field("skipped", false)
+        .field("event_jobs_per_sec", flavour_jps[0])
+        .field("threaded_jobs_per_sec", flavour_jps[1])
+        .field("event_over_threaded", ratio);
+  }
+
   // ----------------------------------------------------- skewed-key phase
   // Every job is a twin of one hot instance. R=1: the owner serializes
   // the whole stream. R=2 + hot-key routing: twins overflow to the
@@ -676,6 +796,8 @@ int main(int argc, char** argv) {
       .raw_field("batch", batch_json.str())
       .raw_field("warm", warm_json.str())
       .raw_field("sharded", sharded_json.str())
+      .raw_field("open_loop", open_loop_json.str())
+      .raw_field("front_door", front_door_json.str())
       .raw_field("skewed", skewed_json.str())
       .raw_field("hedge", hedge_json.str());
 

@@ -27,7 +27,7 @@ emitted=$(grep -hoE '\.(raw_)?field\("[a-z_]+"' \
             src/core/report.cpp tools/saim_serve.cpp tools/saim_shard.cpp \
             src/service/shard_router.cpp src/service/stream_session.cpp \
             src/service/supervisor.cpp src/service/service_stats.cpp \
-            src/net/socket_child.cpp |
+            src/service/event_server.cpp src/net/socket_child.cpp |
           grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
 accepted=$(awk '/kKnownKeys = \{/,/\};/' src/service/job_parser.cpp |
            grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)

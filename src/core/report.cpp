@@ -72,6 +72,10 @@ std::string result_to_jsonl(const SolveResult& result,
                 static_cast<unsigned long long>(context.fingerprint));
 
   util::JsonWriter json;
+  // One result line is ~350 bytes; a single up-front block keeps the
+  // serving path at one allocation per line (it matters: the event
+  // server renders every reply through here).
+  json.reserve(512);
   json.field("id", context.id)
       .field("instance", context.instance)
       .field("backend", context.backend)
@@ -105,7 +109,7 @@ std::string result_to_jsonl(const SolveResult& result,
     json.raw_field("timing", timing.str());
   }
   if (context.seq >= 0) json.field("seq", context.seq);
-  return json.str();
+  return json.take();
 }
 
 }  // namespace saim::core

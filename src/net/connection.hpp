@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,8 +37,12 @@ class Connection {
 
   /// Queues `line` (plus the trailing newline) for the peer.
   void send_line(const std::string& line);
+  /// Move overload: the serving path renders a line per job and hands it
+  /// straight to the wire — no copy.
+  void send_line(std::string&& line);
 
-  /// Flushes as much queued output as the socket accepts right now.
+  /// Flushes as much queued output as the socket accepts right now, in
+  /// writev batches (many small result lines leave in one syscall).
   /// Returns false once the connection is broken (queued bytes dropped).
   bool pump_writes();
 
@@ -55,13 +60,25 @@ class Connection {
   [[nodiscard]] bool eof() const noexcept { return eof_; }
   [[nodiscard]] bool broken() const noexcept { return write_broken_; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Queued-but-unsent bytes (each line counts its trailing newline) —
+  /// the event server's backpressure signal.
   [[nodiscard]] std::size_t outbound_bytes() const noexcept {
-    return outbuf_.size();
+    return outbound_bytes_;
+  }
+  /// Bytes buffered past the last complete inbound line — the event
+  /// server's flood guard for the pre-auth handshake.
+  [[nodiscard]] std::size_t inbound_partial_bytes() const noexcept {
+    return framer_.partial_bytes();
   }
 
  private:
   int fd_ = -1;
-  std::string outbuf_;
+  /// Outbound lines, newline NOT stored (pump_writes interleaves a
+  /// shared one-byte "\n" iovec) — a queued line is exactly the string
+  /// the caller rendered, moved, never concatenated.
+  std::deque<std::string> outq_;
+  std::size_t front_sent_ = 0;  ///< bytes of outq_.front()+'\n' already sent
+  std::size_t outbound_bytes_ = 0;
   LineFramer framer_;
   bool write_broken_ = false;
   bool eof_ = false;

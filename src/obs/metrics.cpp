@@ -234,6 +234,26 @@ std::optional<HistogramSnapshot> MetricsRegistry::histogram_snapshot(
   return it->second.histogram->snapshot();
 }
 
+std::optional<std::uint64_t> MetricsRegistry::counter_value(
+    const std::string& name) const {
+  util::MutexLock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter) {
+    return std::nullopt;
+  }
+  return it->second.counter->value();
+}
+
+std::optional<double> MetricsRegistry::gauge_value(
+    const std::string& name) const {
+  util::MutexLock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kGauge) {
+    return std::nullopt;
+  }
+  return it->second.gauge->value();
+}
+
 std::string MetricsRegistry::render_prometheus() const {
   PromText text;
   util::MutexLock lock(mutex_);

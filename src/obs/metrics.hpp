@@ -159,6 +159,14 @@ class MetricsRegistry {
   [[nodiscard]] std::optional<HistogramSnapshot> histogram_snapshot(
       const std::string& name) const SAIM_EXCLUDES(mutex_);
 
+  /// Read-only lookups for the stats snapshot path: the current value of
+  /// a registered counter/gauge, std::nullopt when the name is absent or
+  /// of another kind (readers must not get-or-create).
+  [[nodiscard]] std::optional<std::uint64_t> counter_value(
+      const std::string& name) const SAIM_EXCLUDES(mutex_);
+  [[nodiscard]] std::optional<double> gauge_value(const std::string& name)
+      const SAIM_EXCLUDES(mutex_);
+
   /// The whole registry in Prometheus text-exposition format.
   [[nodiscard]] std::string render_prometheus() const SAIM_EXCLUDES(mutex_);
 

@@ -121,9 +121,12 @@ std::pair<std::string, std::string> file_type_format(
   return {type, format};
 }
 
-std::string field_string(const util::JsonValue& job, const char* key) {
+/// Borrowed view of a string field ("" when absent or not a string) —
+/// the parse path reads several of these per job line, so no copies.
+const std::string& field_string(const util::JsonValue& job, const char* key) {
+  static const std::string kEmpty;
   const auto* v = job.find(key);
-  return v ? v->as_string() : std::string{};
+  return v ? v->as_string() : kEmpty;
 }
 
 double require_number(const util::JsonValue& job, const char* key,
@@ -199,7 +202,7 @@ ParsedJob parse_job(const util::JsonValue& job, bool warm_default) {
                                 &parsed.instance);
   }
 
-  const std::string backend = field_string(job, "backend");
+  const std::string& backend = field_string(job, "backend");
   request.backend.name = backend.empty() ? "pbit" : backend;
   request.backend.sweeps =
       static_cast<std::size_t>(require_count(job, "sweeps", 1000));

@@ -68,6 +68,28 @@ std::string service_stats_json(const SolveService& service) {
       .field("workers", static_cast<std::uint64_t>(service.worker_count()))
       .raw_field("cache", cache.str())
       .raw_field("latency", latency.str());
+
+  // Front-door state, present only when a listen server (event-driven or
+  // --threaded) registered its connection metrics — a plain stdin/stdout
+  // run has no front door and no "connections" object. Values come from
+  // the shared registry, so both server flavours report identically.
+  const obs::MetricsRegistry& registry = service.metrics();
+  if (const auto accepted =
+          registry.counter_value("saim_connections_accepted_total")) {
+    util::JsonWriter connections;
+    connections
+        .field("open",
+               static_cast<std::uint64_t>(
+                   registry.gauge_value("saim_connections_open").value_or(0)))
+        .field("accepted", *accepted)
+        .field("rejected",
+               registry.counter_value("saim_connections_rejected_total")
+                   .value_or(0))
+        .field("timed_out",
+               registry.counter_value("saim_sessions_timed_out_total")
+                   .value_or(0));
+    json.raw_field("connections", connections.str());
+  }
   return json.str();
 }
 

@@ -57,10 +57,13 @@ bool FdSessionIO::read_line(std::string& line) {
 
 void FdSessionIO::write_line(const std::string& line) {
   if (broken_ || fd_ < 0) return;
-  std::string buffer = line;
-  buffer += '\n';
+  // The scratch buffer is a member: a session writes one line per job,
+  // and reusing the allocation across lines keeps the per-job cost to a
+  // copy instead of a copy plus a heap round-trip.
+  write_buffer_.assign(line);
+  write_buffer_ += '\n';
   for (;;) {
-    switch (net::write_some(fd_, buffer)) {
+    switch (net::write_some(fd_, write_buffer_)) {
       case net::WriteStatus::kOk:
         return;
       case net::WriteStatus::kBlocked:
@@ -157,7 +160,7 @@ std::size_t import_warm_json(SolveService& service,
   return imported;
 }
 
-// -------------------------------------------------------------- session
+// -------------------------------------------------------------- core
 
 namespace {
 
@@ -176,286 +179,374 @@ struct PendingJob {
   [[nodiscard]] bool barrier() const { return drain || bye || export_warm; }
 };
 
-/// Stream-mode state shared between the reader (main) thread and the
-/// emitter thread. A named struct, not locals, so the guarded members can
-/// carry thread-safety annotations (attributes cannot attach to
-/// function-local variables). Batch mode uses it too — uncontended, the
-/// emitter thread only exists with --stream — so the two paths stay
-/// identical.
-struct EmitQueue {
-  util::Mutex mutex;
+}  // namespace
+
+/// State shared between whoever feeds lines and whoever polls emissions
+/// — two threads in the blocking driver (reader + emitter), one thread
+/// in the event server (the lock is then uncontended). A named struct so
+/// the guarded members can carry thread-safety annotations.
+struct StreamSessionCore::Impl {
+  SolveService& service;
+  const SessionOptions options;
+  /// Registered on the service's registry (get-or-create: sessions share
+  /// one series) so emit delay rolls up with the solver-side stage
+  /// histograms in stats snapshots and metrics scrapes.
+  obs::Histogram& emit_hist;
+
+  mutable util::Mutex mutex;
   std::vector<PendingJob> jobs SAIM_GUARDED_BY(mutex);
   std::vector<std::size_t> unemitted SAIM_GUARDED_BY(mutex);  ///< in order
   bool input_done SAIM_GUARDED_BY(mutex) = false;
+  std::int64_t next_seq SAIM_GUARDED_BY(mutex) = 0;
+  SessionResult session_result SAIM_GUARDED_BY(mutex);
+
+  /// Touched only by the single line feeder — never concurrently.
+  std::size_t line_no = 0;
+  bool intake_stopped = false;
+
+  Impl(SolveService& svc, const SessionOptions& opts)
+      : service(svc),
+        options(opts),
+        emit_hist(svc.metrics().histogram(
+            "saim_emit_ms",
+            "response ready to result line written, milliseconds")) {}
+
+  std::string render(PendingJob& job) SAIM_REQUIRES(mutex);
+  std::string render_barrier(PendingJob& job) SAIM_REQUIRES(mutex);
 };
 
-}  // namespace
+// Renders (and marks emitted) the result/error line for a FINISHED job.
+// In stream mode, lines for ACCEPTED jobs carry the emission sequence
+// number; lines rejected at submission never consume one (the global
+// completion order counts real jobs only). In batch mode results print
+// after EOF in input order, without seq.
+std::string StreamSessionCore::Impl::render(PendingJob& job) {
+  job.emitted = true;
+  if (!job.handle.valid()) {
+    session_result.any_error = true;
+    util::JsonWriter err;
+    err.field("id", job.id).field("error", job.error);
+    return err.take();
+  }
+  const std::int64_t seq = options.stream ? next_seq++ : -1;
+  const auto response = job.handle.wait();  // finished: returns at once
+  // Completion-to-emission delay, recorded for every rendered job (a
+  // responsive emitter is a property of the SESSION, not of traced
+  // jobs). Epoch finished_at = response built outside the service.
+  double emit_ms = 0.0;
+  if (response->finished_at != std::chrono::steady_clock::time_point{}) {
+    emit_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - response->finished_at)
+                  .count();
+    emit_hist.observe(emit_ms);
+  }
+  if (response->status == core::Status::kError) {
+    session_result.any_error = true;
+    util::JsonWriter err;
+    err.field("id", job.id).field("error", response->error);
+    if (seq >= 0) err.field("seq", seq);
+    return err.take();
+  }
+  core::JsonlContext context;
+  context.id = job.id;
+  context.instance = job.instance;
+  context.backend = job.backend;
+  context.wall_ms = response->wall_ms;
+  context.cache_hit = response->cache_hit;
+  context.fingerprint = response->fingerprint;
+  context.batch_size = response->batch_size;
+  context.warm_started = response->warm_started;
+  if (job.trace) {
+    context.trace = true;
+    context.queue_ms = response->timing.queue_ms;
+    context.setup_ms = response->timing.setup_ms;
+    context.solve_ms = response->timing.solve_ms;
+    context.emit_ms = emit_ms;
+    context.total_ms = response->timing.total_ms;
+  }
+  context.seq = seq;
+  return core::result_to_jsonl(*response->result, context);
+}
+
+// A barrier's acknowledgement line (no seq: control lines never consume
+// completion-order numbers). drain says "drained", shutdown says "bye",
+// export_warm snapshots the pool — at barrier time, so every feasible
+// job accepted before it has already deposited its samples.
+std::string StreamSessionCore::Impl::render_barrier(PendingJob& job) {
+  job.emitted = true;
+  util::JsonWriter ack;
+  ack.field("id", job.id);
+  if (job.bye) {
+    ack.field("bye", true);
+  } else if (job.export_warm) {
+    ack.raw_field("warm", warm_pool_to_json(service.export_warm_pool()));
+  } else {
+    ack.field("drained", true);
+  }
+  return ack.take();
+}
+
+StreamSessionCore::StreamSessionCore(SolveService& service,
+                                     const SessionOptions& options)
+    : impl_(std::make_unique<Impl>(service, options)) {}
+
+StreamSessionCore::~StreamSessionCore() = default;
+
+bool StreamSessionCore::on_line(const std::string& line,
+                                std::vector<std::string>& replies) {
+  Impl& im = *impl_;
+  if (im.intake_stopped) return false;
+  ++im.line_no;
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
+  PendingJob pending;
+  pending.id = "job" + std::to_string(im.line_no);
+  bool stop_reading = false;
+  try {
+    const util::JsonValue parsed = util::parse_json(line);
+    // Use the line's own id everywhere — result lines, error lines,
+    // control acknowledgements — falling back to the line number.
+    if (const auto* id = parsed.find("id")) {
+      if (!id->as_string().empty()) pending.id = id->as_string();
+    }
+    if (const auto cmd = control_cmd(parsed)) {
+      if (*cmd == "ping") {
+        // Liveness probe: answered immediately, even in batch mode and
+        // even while every worker is busy (submission never blocks).
+        // "inflight" counts THIS session's accepted-but-unemitted jobs
+        // — rejected lines and barriers are not load.
+        std::size_t inflight = 0;
+        {
+          util::MutexLock lock(im.mutex);
+          for (const std::size_t i : im.unemitted) {
+            if (im.jobs[i].handle.valid()) ++inflight;
+          }
+        }
+        util::JsonWriter pong;
+        pong.field("id", pending.id)
+            .field("pong", true)
+            .field("inflight", static_cast<std::uint64_t>(inflight));
+        replies.push_back(pong.take());
+        return true;
+      }
+      if (*cmd == "stats") {
+        // Snapshot, not a barrier: answered immediately with the
+        // service's CURRENT counters and latency quantiles, like ping.
+        // (saim_shard intercepts this cmd at the front door and
+        // aggregates the whole fleet instead.)
+        util::JsonWriter reply;
+        reply.field("id", pending.id)
+            .raw_field("service", service_stats_json(im.service));
+        replies.push_back(reply.take());
+        return true;
+      }
+      if (*cmd == "import_warm") {
+        const auto* warm = parsed.find("warm");
+        if (!warm) throw std::runtime_error("import_warm needs \"warm\"");
+        const std::size_t imported = import_warm_json(im.service, *warm);
+        util::JsonWriter reply;
+        reply.field("id", pending.id)
+            .field("imported", static_cast<std::uint64_t>(imported));
+        replies.push_back(reply.take());
+        return true;
+      }
+      if (*cmd == "reshard") {
+        throw std::runtime_error(
+            "control cmd \"reshard\" is only handled by the saim_shard "
+            "front door");
+      }
+      if (*cmd == "shutdown") {
+        // Farewell barrier: intake stops NOW; everything accepted
+        // before it drains, then {"bye":true} ends the session.
+        pending.bye = true;
+        stop_reading = true;
+        util::MutexLock lock(im.mutex);
+        im.session_result.shutdown = true;
+      } else if (*cmd == "export_warm") {
+        // Snapshot barrier: replied once every job accepted before it
+        // has emitted — their feasible samples are then in the pool,
+        // so a handoff export never under-reports in-flight work.
+        pending.export_warm = true;
+      } else {
+        pending.drain = true;  // barrier; acknowledged by the emitter
+      }
+    } else {
+      ParsedJob job = parse_job(parsed, im.options.warm_default);
+      job.request.tag = pending.id;
+      pending.instance = job.instance;
+      pending.backend = job.request.backend.name;
+      pending.trace = job.request.trace;
+      pending.handle = im.service.submit(std::move(job.request));
+    }
+  } catch (const std::exception& e) {
+    pending.error = e.what();
+  }
+  {
+    // Uncontended without a concurrent emitter (batch mode / event
+    // server), so one always-locked push keeps the paths identical.
+    util::MutexLock lock(im.mutex);
+    im.jobs.push_back(std::move(pending));
+    im.unemitted.push_back(im.jobs.size() - 1);
+  }
+  if (stop_reading) {
+    im.intake_stopped = true;
+    return false;
+  }
+  return true;
+}
+
+void StreamSessionCore::finish_input() {
+  util::MutexLock lock(impl_->mutex);
+  impl_->input_done = true;
+}
+
+// Each pass sweeps only the still-unemitted indices with non-blocking
+// try_get. A drain/shutdown barrier emits only once every entry before
+// it has — jobs after it may still overtake it, matching the contract
+// that "drained" certifies the PAST, not the future.
+//
+// The sweep is a hand-written compaction loop rather than erase_if: the
+// analysis treats a lambda body as its own (lock-free) function, so a
+// predicate touching jobs/unemitted could not be checked against the
+// lock held out here.
+bool StreamSessionCore::poll_emittable(std::vector<std::string>& out) {
+  Impl& im = *impl_;
+  util::MutexLock lock(im.mutex);
+  if (im.options.stream) {
+    bool blocked = false;  // an earlier entry is still unfinished
+    std::size_t kept = 0;
+    for (std::size_t n = 0; n < im.unemitted.size(); ++n) {
+      const std::size_t i = im.unemitted[n];
+      PendingJob& job = im.jobs[i];
+      if (job.barrier()) {
+        if (blocked) {
+          im.unemitted[kept++] = i;
+        } else {
+          out.push_back(im.render_barrier(job));
+        }
+        continue;
+      }
+      if (job.handle.valid() && !job.handle.try_get()) {
+        blocked = true;
+        im.unemitted[kept++] = i;
+        continue;
+      }
+      out.push_back(im.render(job));
+    }
+    im.unemitted.resize(kept);
+  } else if (im.input_done) {
+    // Batch contract: nothing emits before EOF; afterwards, input order.
+    // Render the maximal finished prefix; the rest waits for a later
+    // poll (or drain_blocking).
+    std::size_t taken = 0;
+    while (taken < im.unemitted.size()) {
+      PendingJob& job = im.jobs[im.unemitted[taken]];
+      if (job.barrier()) {
+        out.push_back(im.render_barrier(job));
+      } else if (job.handle.valid() && !job.handle.try_get()) {
+        break;
+      } else {
+        out.push_back(im.render(job));
+      }
+      ++taken;
+    }
+    im.unemitted.erase(im.unemitted.begin(),
+                       im.unemitted.begin() +
+                           static_cast<std::ptrdiff_t>(taken));
+  }
+  return im.input_done && im.unemitted.empty();
+}
+
+void StreamSessionCore::drain_blocking(std::vector<std::string>& out) {
+  Impl& im = *impl_;
+  // render() may block in handle.wait(); nothing else wants the lock at
+  // drain time (the feeder is done, no emitter thread runs in batch
+  // mode), so holding it across the waits is safe and keeps the guarded
+  // accesses annotated.
+  util::MutexLock lock(im.mutex);
+  for (auto& job : im.jobs) {
+    if (job.emitted) continue;
+    out.push_back(job.barrier() ? im.render_barrier(job) : im.render(job));
+  }
+  im.unemitted.clear();
+}
+
+bool StreamSessionCore::drained() const {
+  util::MutexLock lock(impl_->mutex);
+  return impl_->input_done && impl_->unemitted.empty();
+}
+
+bool StreamSessionCore::needs_poll() const {
+  util::MutexLock lock(impl_->mutex);
+  if (impl_->unemitted.empty()) return false;
+  return impl_->options.stream || impl_->input_done;
+}
+
+std::size_t StreamSessionCore::unemitted_count() const {
+  util::MutexLock lock(impl_->mutex);
+  return impl_->unemitted.size();
+}
+
+SessionResult StreamSessionCore::result() const {
+  util::MutexLock lock(impl_->mutex);
+  return impl_->session_result;
+}
+
+// -------------------------------------------------------------- session
 
 SessionResult run_stream_session(SolveService& service, SessionIO& io,
                                  const SessionOptions& options) {
-  SessionResult session_result;
-  const bool stream = options.stream;
-
-  // Registered on the service's registry (get-or-create: sessions share
-  // one series) so emit delay rolls up with the solver-side stage
-  // histograms in stats snapshots and metrics scrapes.
-  obs::Histogram& emit_hist = service.metrics().histogram(
-      "saim_emit_ms", "response ready to result line written, milliseconds");
-
-  std::int64_t next_seq = 0;
-  // Renders (and marks emitted) the result/error line for a FINISHED job.
-  // In stream mode, lines for ACCEPTED jobs carry the emission sequence
-  // number; lines rejected at submission never consume one (the global
-  // completion order counts real jobs only). In batch mode results print
-  // after EOF in input order, without seq.
-  const auto render = [&](PendingJob& job) -> std::string {
-    job.emitted = true;
-    if (!job.handle.valid()) {
-      session_result.any_error = true;
-      util::JsonWriter err;
-      err.field("id", job.id).field("error", job.error);
-      return err.str();
-    }
-    const std::int64_t seq = stream ? next_seq++ : -1;
-    const auto response = job.handle.wait();  // finished: returns at once
-    // Completion-to-emission delay, recorded for every rendered job (a
-    // responsive emitter is a property of the SESSION, not of traced
-    // jobs). Epoch finished_at = response built outside the service.
-    double emit_ms = 0.0;
-    if (response->finished_at != std::chrono::steady_clock::time_point{}) {
-      emit_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - response->finished_at)
-                    .count();
-      emit_hist.observe(emit_ms);
-    }
-    if (response->status == core::Status::kError) {
-      session_result.any_error = true;
-      util::JsonWriter err;
-      err.field("id", job.id).field("error", response->error);
-      if (seq >= 0) err.field("seq", seq);
-      return err.str();
-    }
-    core::JsonlContext context;
-    context.id = job.id;
-    context.instance = job.instance;
-    context.backend = job.backend;
-    context.wall_ms = response->wall_ms;
-    context.cache_hit = response->cache_hit;
-    context.fingerprint = response->fingerprint;
-    context.batch_size = response->batch_size;
-    context.warm_started = response->warm_started;
-    if (job.trace) {
-      context.trace = true;
-      context.queue_ms = response->timing.queue_ms;
-      context.setup_ms = response->timing.setup_ms;
-      context.solve_ms = response->timing.solve_ms;
-      context.emit_ms = emit_ms;
-      context.total_ms = response->timing.total_ms;
-    }
-    context.seq = seq;
-    return core::result_to_jsonl(*response->result, context);
-  };
-  // A barrier's acknowledgement line (no seq: control lines never consume
-  // completion-order numbers). drain says "drained", shutdown says "bye",
-  // export_warm snapshots the pool — at barrier time, so every feasible
-  // job accepted before it has already deposited its samples.
-  const auto render_barrier = [&service](PendingJob& job) -> std::string {
-    job.emitted = true;
-    util::JsonWriter ack;
-    ack.field("id", job.id);
-    if (job.bye) {
-      ack.field("bye", true);
-    } else if (job.export_warm) {
-      ack.raw_field("warm", warm_pool_to_json(service.export_warm_pool()));
-    } else {
-      ack.field("drained", true);
-    }
-    return ack.str();
-  };
-
-  EmitQueue q;
+  StreamSessionCore core(service, options);
   util::Mutex out_mutex;  ///< serializes the sink between emitter and pongs
 
   // Stream mode emits from a dedicated thread so completions surface the
   // moment they happen — even while the main thread is blocked in
   // read_line waiting for a slow producer (a request-response coprocess
-  // can keep the pipe open and still read results). Each pass sweeps only
-  // the still-unemitted indices with non-blocking try_get, renders under
-  // the lock but WRITES outside it (a slow result consumer never stalls
-  // submission), and exits once input is done and everything is emitted.
-  // The exit check reads input_done inside the same critical section as
-  // the sweep, so a final job pushed before input_done was set can never
-  // be skipped. A drain/shutdown barrier emits only once every entry
-  // before it has — jobs after it may still overtake it, matching the
-  // contract that "drained" certifies the PAST, not the future.
-  //
-  // The sweep is a hand-written compaction loop rather than erase_if: the
-  // analysis treats a lambda body as its own (lock-free) function, so a
-  // predicate touching q.jobs/q.unemitted could not be checked against
-  // the lock held out here.
+  // can keep the pipe open and still read results). Renders happen under
+  // the core's lock but WRITES happen outside it (a slow result consumer
+  // never stalls submission); the pass exits once input is done and
+  // everything is emitted. poll_emittable computes "drained" inside the
+  // same critical section as its sweep, so a final job pushed before
+  // finish_input can never be skipped.
   std::thread emitter;
-  if (stream) {
+  if (options.stream) {
     emitter = std::thread([&] {
-      while (true) {
+      for (;;) {
         std::vector<std::string> lines;
-        bool done;
-        bool all_emitted;
-        {
-          util::MutexLock lock(q.mutex);
-          bool blocked = false;  // an earlier entry is still unfinished
-          std::size_t kept = 0;
-          for (std::size_t n = 0; n < q.unemitted.size(); ++n) {
-            const std::size_t i = q.unemitted[n];
-            PendingJob& job = q.jobs[i];
-            if (job.barrier()) {
-              if (blocked) {
-                q.unemitted[kept++] = i;
-              } else {
-                lines.push_back(render_barrier(job));
-              }
-              continue;
-            }
-            if (job.handle.valid() && !job.handle.try_get()) {
-              blocked = true;
-              q.unemitted[kept++] = i;
-              continue;
-            }
-            lines.push_back(render(job));
-          }
-          q.unemitted.resize(kept);
-          all_emitted = q.unemitted.empty();
-          done = q.input_done;
-        }
+        const bool done = core.poll_emittable(lines);
         if (!lines.empty()) {
           util::MutexLock lock(out_mutex);
           for (const auto& l : lines) io.write_line(l);
           io.flush();  // a coprocess is waiting on these completions
         }
-        if (done && all_emitted) return;
+        if (done) return;
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
     });
   }
 
   std::string line;
-  std::size_t line_no = 0;
+  std::vector<std::string> replies;
   while (io.read_line(line)) {
-    ++line_no;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    PendingJob pending;
-    pending.id = "job" + std::to_string(line_no);
-    bool stop_reading = false;
-    try {
-      const util::JsonValue parsed = util::parse_json(line);
-      // Use the line's own id everywhere — result lines, error lines,
-      // control acknowledgements — falling back to the line number.
-      if (const auto* id = parsed.find("id")) {
-        if (!id->as_string().empty()) pending.id = id->as_string();
-      }
-      if (const auto cmd = control_cmd(parsed)) {
-        if (*cmd == "ping") {
-          // Liveness probe: answered immediately, even in batch mode and
-          // even while every worker is busy (submission never blocks).
-          // "inflight" counts THIS session's accepted-but-unemitted jobs
-          // — rejected lines and barriers are not load.
-          std::size_t inflight = 0;
-          {
-            util::MutexLock lock(q.mutex);
-            for (const std::size_t i : q.unemitted) {
-              if (q.jobs[i].handle.valid()) ++inflight;
-            }
-          }
-          util::JsonWriter pong;
-          pong.field("id", pending.id)
-              .field("pong", true)
-              .field("inflight", static_cast<std::uint64_t>(inflight));
-          util::MutexLock lock(out_mutex);
-          io.write_line(pong.str());
-          io.flush();  // a probe's whole point is promptness
-          continue;
-        }
-        if (*cmd == "stats") {
-          // Snapshot, not a barrier: answered immediately with the
-          // service's CURRENT counters and latency quantiles, like ping.
-          // (saim_shard intercepts this cmd at the front door and
-          // aggregates the whole fleet instead.)
-          util::JsonWriter reply;
-          reply.field("id", pending.id)
-              .raw_field("service", service_stats_json(service));
-          util::MutexLock lock(out_mutex);
-          io.write_line(reply.str());
-          io.flush();
-          continue;
-        }
-        if (*cmd == "import_warm") {
-          const auto* warm = parsed.find("warm");
-          if (!warm) throw std::runtime_error("import_warm needs \"warm\"");
-          const std::size_t imported = import_warm_json(service, *warm);
-          util::JsonWriter reply;
-          reply.field("id", pending.id)
-              .field("imported", static_cast<std::uint64_t>(imported));
-          util::MutexLock lock(out_mutex);
-          io.write_line(reply.str());
-          io.flush();
-          continue;
-        }
-        if (*cmd == "reshard") {
-          throw std::runtime_error(
-              "control cmd \"reshard\" is only handled by the saim_shard "
-              "front door");
-        }
-        if (*cmd == "shutdown") {
-          // Farewell barrier: intake stops NOW; everything accepted
-          // before it drains, then {"bye":true} ends the session.
-          pending.bye = true;
-          stop_reading = true;
-          session_result.shutdown = true;
-        } else if (*cmd == "export_warm") {
-          // Snapshot barrier: replied once every job accepted before it
-          // has emitted — their feasible samples are then in the pool,
-          // so a handoff export never under-reports in-flight work.
-          pending.export_warm = true;
-        } else {
-          pending.drain = true;  // barrier; acknowledged by the emitter
-        }
-      } else {
-        ParsedJob job = parse_job(parsed, options.warm_default);
-        job.request.tag = pending.id;
-        pending.instance = job.instance;
-        pending.backend = job.request.backend.name;
-        pending.trace = job.request.trace;
-        pending.handle = service.submit(std::move(job.request));
-      }
-    } catch (const std::exception& e) {
-      pending.error = e.what();
+    replies.clear();
+    const bool keep_reading = core.on_line(line, replies);
+    if (!replies.empty()) {
+      util::MutexLock lock(out_mutex);
+      for (const auto& r : replies) io.write_line(r);
+      io.flush();  // a probe's whole point is promptness
     }
-    {
-      // Uncontended in batch mode (the emitter thread only exists with
-      // --stream), so one always-locked push keeps the paths identical.
-      util::MutexLock lock(q.mutex);
-      q.jobs.push_back(std::move(pending));
-      q.unemitted.push_back(q.jobs.size() - 1);
-    }
-    if (stop_reading) break;
+    if (!keep_reading) break;
   }
+  core.finish_input();
 
-  if (stream) {
-    {
-      util::MutexLock lock(q.mutex);
-      q.input_done = true;
-    }
+  if (options.stream) {
     emitter.join();  // drains every remaining completion, then exits
   } else {
-    // No emitter thread exists, but q.jobs is guarded state: hold the
-    // (uncontended) lock for the final sweep so the access is annotated.
-    // render() may block in handle.wait(); nothing else wants the lock.
-    util::MutexLock lock(q.mutex);
-    for (auto& job : q.jobs) {
-      io.write_line(job.barrier() ? render_barrier(job) : render(job));
-    }
+    std::vector<std::string> lines;
+    core.drain_blocking(lines);
+    for (const auto& l : lines) io.write_line(l);
     io.flush();  // batch mode: one flush for the whole run
   }
-  return session_result;
+  return core.result();
 }
 
 }  // namespace saim::service

@@ -8,14 +8,23 @@
 // byte for byte — now serves
 //
 //   * stdin/stdout            (IostreamSessionIO; saim_serve's default),
-//   * one accepted TCP socket (FdSessionIO; saim_serve --listen spawns a
-//     session thread per connection, all sharing ONE SolveService, so
-//     concurrent connections share the cache, batcher and warm pool).
+//   * one accepted TCP socket (FdSessionIO; saim_serve --listen
+//     --threaded spawns a session thread per connection),
+//   * many multiplexed TCP sockets on one reactor thread (the default
+//     --listen path: service/event_server.{hpp,cpp} drives one
+//     StreamSessionCore per connection from a net::EventLoop).
+//
+// The protocol state machine itself lives in StreamSessionCore: a
+// non-blocking, push/pull core (feed lines in, poll finished result
+// lines out) shared by BOTH transports, so the event-driven server and
+// the thread-per-connection server emit identical bytes by construction.
+// run_stream_session() is the blocking driver around it.
 //
 // Per-session state: job table, seq counter (stream mode numbers each
 // CONNECTION's accepted jobs 0..n-1), drain barriers. Shared state: the
-// SolveService. The emitter thread (stream mode) writes results the
-// moment they complete, even while the reader blocks on a slow producer.
+// SolveService. The emitter thread (stream mode, blocking driver) writes
+// results the moment they complete, even while the reader blocks on a
+// slow producer.
 //
 // Control lines handled here: ping, stats (immediate service snapshot:
 // counters, cache stats, latency quantiles — see service_stats.hpp),
@@ -28,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -99,8 +109,69 @@ class FdSessionIO : public SessionIO {
   bool owns_fd_ = true;
   net::LineFramer framer_;
   std::deque<std::string> lines_;
+  std::string write_buffer_;  ///< reused per line: no alloc on the hot path
   bool eof_ = false;
   bool broken_ = false;  ///< write side failed; drop further output
+};
+
+/// The protocol state machine of one session, decoupled from any
+/// transport or thread: feed input lines with on_line() (immediate
+/// replies — pong, stats, import acks — come back through `replies`),
+/// mark EOF with finish_input(), and pull finished result lines with
+/// poll_emittable(), which NEVER blocks. Internally synchronized: the
+/// blocking driver calls on_line and poll_emittable from two threads;
+/// the event server calls everything from its one reactor thread (the
+/// lock is then uncontended).
+///
+/// Emission contract (identical to the historical in-line loop, pinned
+/// by the transport-equality tests):
+///   * stream mode — completion order; every rendered line of an
+///     accepted job carries the next "seq"; a drain/shutdown/export
+///     barrier waits until every entry before it has emitted;
+///   * batch mode — nothing emits before finish_input(); afterwards
+///     results render in input order (poll_emittable yields the maximal
+///     finished prefix per call; drain_blocking waits for everything).
+class StreamSessionCore {
+ public:
+  StreamSessionCore(SolveService& service, const SessionOptions& options);
+  ~StreamSessionCore();
+
+  StreamSessionCore(const StreamSessionCore&) = delete;
+  StreamSessionCore& operator=(const StreamSessionCore&) = delete;
+
+  /// Processes one input line (job, control, or garbage — garbage
+  /// becomes a queued error line). Immediate replies are appended to
+  /// `replies`. Returns false once intake stops ({"cmd":"shutdown"});
+  /// further calls are ignored.
+  bool on_line(const std::string& line, std::vector<std::string>& replies);
+
+  /// Marks end of input (EOF or the transport dropping the session).
+  void finish_input();
+
+  /// Appends every line emittable right now (non-blocking; see the
+  /// emission contract above). Returns true once the session is fully
+  /// drained: input finished and nothing left to emit.
+  bool poll_emittable(std::vector<std::string>& out);
+
+  /// Blocking drain for the thread-per-session batch path: renders
+  /// everything still pending, waiting on unfinished jobs, in input
+  /// order.
+  void drain_blocking(std::vector<std::string>& out);
+
+  /// True when input is finished and every accepted line has emitted.
+  [[nodiscard]] bool drained() const;
+  /// True when poll_emittable could make progress soon: unemitted
+  /// entries exist (stream mode) or exist after EOF (batch mode). The
+  /// event server's completion-sweep cadence keys off this.
+  [[nodiscard]] bool needs_poll() const;
+  /// Accepted-but-unemitted lines (jobs and barriers) — nonzero while
+  /// work is still in flight, whatever the mode.
+  [[nodiscard]] std::size_t unemitted_count() const;
+  [[nodiscard]] SessionResult result() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Serves one complete conversation: reads until EOF or shutdown,

@@ -98,8 +98,21 @@ class JsonWriter {
   /// Pre-serialized JSON (nested object/array, or "null").
   JsonWriter& raw_field(std::string_view name, std::string_view json);
 
+  /// Pre-sizes the internal buffer (serving hot path: a result line's
+  /// size is known within a few bytes, so one reserve avoids the
+  /// append-by-append growth reallocations).
+  void reserve(std::size_t bytes) { body_.reserve(bytes + 1); }
+
   /// The finished object, e.g. {"a":1,"b":"x"}.
   [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+  /// Destructive str(): closes the object and MOVES the buffer out (no
+  /// copy). The writer is spent afterwards — hot render paths that build
+  /// one line per writer use this instead of str().
+  [[nodiscard]] std::string take() {
+    body_ += '}';
+    return std::move(body_);
+  }
 
  private:
   void key(std::string_view name);

@@ -383,6 +383,40 @@ TEST(TransportEquality, SocketFleetMatchesPipeFleetBitForBit) {
   remote_b.server->terminate();
 }
 
+TEST(TransportEquality, EventLoopMatchesThreadedServerBitForBit) {
+  if (!serve_bin()) GTEST_SKIP() << "saim_serve not built";
+  const auto lines = job_stream();
+
+  // Same stream through one event-loop server (the --listen default)
+  // and one legacy --threaded server: every solver-produced field must
+  // match byte for byte — the two front doors share StreamSessionCore,
+  // and this pins that they stay interchangeable.
+  std::map<std::string, std::map<std::string, std::string>> by_id[2];
+  RemoteShard remotes[2] = {spawn_listen_serve("evt"),
+                            spawn_listen_serve("thr", {"--threaded"})};
+  for (int f = 0; f < 2; ++f) {
+    ASSERT_GT(remotes[f].port, 0) << "listen server never wrote its port";
+    std::vector<std::unique_ptr<net::ShardEndpoint>> sockets;
+    sockets.push_back(
+        std::make_unique<net::SocketChild>("127.0.0.1", remotes[f].port));
+    const auto out = route_through(std::move(sockets), lines);
+    ASSERT_EQ(out.size(), lines.size());
+    std::set<std::int64_t> seqs;
+    for (const auto& line : out) {
+      by_id[f][util::parse_json(line).find("id")->as_string()] =
+          solved_fields(line);
+      seqs.insert(util::parse_json(line).find("seq")->as_int());
+    }
+    EXPECT_EQ(seqs.size(), lines.size());
+    EXPECT_EQ(*seqs.begin(), 0);
+  }
+  ASSERT_EQ(by_id[0].size(), lines.size());
+  EXPECT_EQ(by_id[0], by_id[1])
+      << "event-loop server must not perturb any solver output";
+  remotes[0].server->terminate();
+  remotes[1].server->terminate();
+}
+
 // ------------------------------------------------------ shard-side auth
 
 /// Sends one job over `shard` and collects lines until EOF or the first

@@ -14,15 +14,22 @@
 // Transports:
 //   * default — one session over --input/--output (stdin/stdout or
 //     files): the classic filter invocation.
-//   * --listen host:port — serve the same protocol over TCP: every
-//     accepted connection gets its own session thread, all sharing ONE
-//     SolveService (so concurrent connections share the cache, batcher
-//     and warm-start pool). Port 0 picks an ephemeral port; --port-file
-//     writes the bound port for race-free rendezvous. This is how a
-//     remote shard joins a `saim_shard --connect host:port` fleet —
-//     start it with --stream, which the sharding router requires. With
-//     --auth-token the first line of every connection must be the
-//     {"auth":"<token>"} handshake or the connection is closed unserved.
+//   * --listen host:port — serve the same protocol over TCP. The
+//     default server is the event-driven front door
+//     (service/EventServer: one epoll/poll reactor thread multiplexing
+//     every connection, per-connection write backpressure, a
+//     --max-connections fail-fast cap, --auth-timeout-ms /
+//     --idle-timeout-ms deadlines); --threaded keeps the previous
+//     thread-per-connection server for one release. Either way every
+//     connection speaks its own session over ONE shared SolveService
+//     (cache, batcher and warm-start pool are shared), and result
+//     lines are byte-identical between the two servers. Port 0 picks
+//     an ephemeral port; --port-file writes the bound port for
+//     race-free rendezvous. This is how a remote shard joins a
+//     `saim_shard --connect host:port` fleet — start it with --stream,
+//     which the sharding router requires. With --auth-token the first
+//     line of every connection must be the {"auth":"<token>"}
+//     handshake or the connection is closed unserved (fail-closed).
 //
 // Output modes (per session): default collects results until EOF and
 // prints them in input order; --stream emits each result the moment it
@@ -50,6 +57,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -62,7 +70,9 @@
 
 #include "net/connection.hpp"
 #include "net/listener.hpp"
+#include "obs/metrics.hpp"
 #include "obs/metrics_server.hpp"
+#include "service/event_server.hpp"
 #include "service/service_stats.hpp"
 #include "service/solve_service.hpp"
 #include "service/stream_session.hpp"
@@ -74,41 +84,118 @@ namespace {
 
 using namespace saim;
 
+/// --listen settings shared by both server flavours.
+struct ListenConfig {
+  std::string spec;
+  std::string port_file;
+  std::string auth_token;
+  std::size_t max_connections = 1024;
+  int auth_timeout_ms = 10'000;
+  int idle_timeout_ms = 0;
+};
+
+std::optional<net::HostPort> parse_listen_spec(const std::string& spec) {
+  const auto hostport = net::parse_hostport(spec);
+  if (!hostport) {
+    util::log_error() << "saim_serve: bad --listen '" << spec
+                      << "' (want host:port)";
+  }
+  return hostport;
+}
+
+/// The port file is the rendezvous for port 0 (ephemeral): written
+/// atomically enough for a single int — readers poll until nonempty.
+bool write_port_file(const std::string& path, int port) {
+  if (path.empty()) return true;
+  std::ofstream pf(path);
+  if (!pf) {
+    util::log_error() << "saim_serve: cannot write '" << path << "'";
+    return false;
+  }
+  pf << port << "\n";
+  return true;
+}
+
+enum class AuthResult { kOk, kRejected, kTimedOut };
+
 /// Reads the connection's first line and checks it against the shared
 /// secret: exactly {"auth":"<token>"}. Anything else — wrong token, no
-/// auth field, malformed JSON, or the peer closing first — fails closed.
-bool check_auth(int fd, const std::string& token) {
+/// auth field, malformed JSON, the peer closing first, or (with
+/// timeout_ms > 0) the deadline passing before a full line arrives —
+/// fails closed.
+AuthResult check_auth(int fd, const std::string& token, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   std::string line;
   char c = 0;
   while (line.size() < 4096) {
+    if (timeout_ms > 0) {
+      const long long remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) return AuthResult::kTimedOut;
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc = ::poll(
+          &pfd, 1, static_cast<int>(std::min<long long>(remaining, 1000)));
+      if (rc < 0 && errno != EINTR) return AuthResult::kRejected;
+      if (rc <= 0) continue;  // tick or EINTR: recheck the deadline
+    }
     const ssize_t n = ::read(fd, &c, 1);
-    if (n <= 0) return false;  // closed/reset before the handshake
+    if (n <= 0) return AuthResult::kRejected;  // closed before handshake
     if (c == '\n') break;
     line.push_back(c);
   }
   try {
     const util::JsonValue parsed = util::parse_json(line);
-    if (!parsed.is_object()) return false;
+    if (!parsed.is_object()) return AuthResult::kRejected;
     const auto* auth = parsed.find("auth");
-    return auth != nullptr && auth->as_string() == token;
+    return auth != nullptr && auth->as_string() == token
+               ? AuthResult::kOk
+               : AuthResult::kRejected;
   } catch (const std::exception&) {
-    return false;
+    return AuthResult::kRejected;
   }
 }
 
-/// Accept loop for --listen: one session thread per connection, all over
-/// `svc`. Returns true once a session requested shutdown.
-int serve_listen(service::SolveService& svc,
-                 const service::SessionOptions& session_options,
-                 const std::string& listen_spec,
-                 const std::string& port_file,
-                 const std::string& auth_token) {
-  const auto hostport = net::parse_hostport(listen_spec);
-  if (!hostport) {
-    util::log_error() << "saim_serve: bad --listen '" << listen_spec
-                      << "' (want host:port)";
+/// The default --listen server: the event-driven front door
+/// (service/EventServer — see its header for the backpressure, cap and
+/// deadline semantics).
+int serve_listen_event(service::SolveService& svc,
+                       const service::SessionOptions& session_options,
+                       const ListenConfig& config) {
+  const auto hostport = parse_listen_spec(config.spec);
+  if (!hostport) return 2;
+  service::EventServerOptions options;
+  options.host = hostport->host;
+  options.port = hostport->port;
+  options.auth_token = config.auth_token;
+  options.session = session_options;
+  options.max_connections = config.max_connections;
+  options.auth_timeout_ms = config.auth_timeout_ms;
+  options.idle_timeout_ms = config.idle_timeout_ms;
+  std::unique_ptr<service::EventServer> server;
+  try {
+    server = std::make_unique<service::EventServer>(svc, options);
+  } catch (const std::exception& e) {
+    util::log_error() << "saim_serve: " << e.what();
     return 2;
   }
+  if (!write_port_file(config.port_file, server->port())) return 2;
+  util::log_info() << "saim_serve: listening on " << hostport->host << ":"
+                   << server->port() << " (event loop)";
+  return server->run();
+}
+
+/// The legacy --threaded server: one session thread per connection.
+/// Kept for one release as the escape hatch while the event loop is the
+/// default; shares the connection cap, auth deadline and metric names
+/// with it so the two are operationally interchangeable.
+int serve_listen_threaded(service::SolveService& svc,
+                          const service::SessionOptions& session_options,
+                          const ListenConfig& config) {
+  const auto hostport = parse_listen_spec(config.spec);
+  if (!hostport) return 2;
   std::unique_ptr<net::Listener> listener;
   try {
     listener = std::make_unique<net::Listener>(hostport->host,
@@ -117,18 +204,23 @@ int serve_listen(service::SolveService& svc,
     util::log_error() << "saim_serve: " << e.what();
     return 2;
   }
-  if (!port_file.empty()) {
-    // The port file is the rendezvous for port 0 (ephemeral): written
-    // atomically enough for a single int — readers poll until nonempty.
-    std::ofstream pf(port_file);
-    if (!pf) {
-      util::log_error() << "saim_serve: cannot write '" << port_file << "'";
-      return 2;
-    }
-    pf << listener->port() << "\n";
-  }
+  if (!write_port_file(config.port_file, listener->port())) return 2;
   util::log_info() << "saim_serve: listening on " << hostport->host << ":"
-                   << listener->port();
+                   << listener->port() << " (threaded)";
+
+  // Same metric names as the event server (docs/PROTOCOL.md): either
+  // front door feeds the same dashboards and stats "connections" object.
+  obs::Counter& accepted_metric =
+      svc.metrics().counter("saim_connections_accepted_total",
+                            "connections accepted by the listen server");
+  obs::Counter& rejected_metric = svc.metrics().counter(
+      "saim_connections_rejected_total",
+      "connections closed unserved: over the connection cap");
+  obs::Counter& timed_out_metric = svc.metrics().counter(
+      "saim_sessions_timed_out_total",
+      "connections dropped by the auth or idle deadline");
+  obs::Gauge& open_metric = svc.metrics().gauge(
+      "saim_connections_open", "connections open right now");
 
   std::atomic<bool> stop{false};
   std::atomic<bool> any_error{false};
@@ -152,21 +244,45 @@ int serve_listen(service::SolveService& svc,
   while (!stop.load()) {
     pollfd pfd{listener->fd(), POLLIN, 0};
     ::poll(&pfd, 1, 100);
-    reap_finished();  // a long-lived server must not hoard dead threads
+    // Reap on EVERY 100 ms tick, accepts or not: a long-lived server
+    // must not hoard dead threads or their client fds, even when no new
+    // client ever connects again.
+    reap_finished();
+    open_metric.set(static_cast<double>(sessions.size()));
     const auto fd = listener->accept_fd();
     if (!fd) continue;
+    if (sessions.size() >= config.max_connections) {
+      // Fail fast, same as the event server: close unserved, count it.
+      ::close(*fd);
+      rejected_metric.add();
+      util::log_warn() << "saim_serve: rejected connection (cap "
+                       << config.max_connections << " reached)";
+      continue;
+    }
+    accepted_metric.add();
     auto session = std::make_unique<ClientSession>();
     session->fd = *fd;
     auto* raw = session.get();
     session->thread = std::thread([&, raw] {
-      if (!auth_token.empty() && !check_auth(raw->fd, auth_token)) {
-        // Closed before any job line is read: an unauthenticated peer
-        // never reaches the parser, the service, or the filesystem.
-        util::log_warn()
-            << "saim_serve: closed unauthenticated connection";
-        ::shutdown(raw->fd, SHUT_RDWR);
-        raw->done.store(true);
-        return;
+      if (!config.auth_token.empty()) {
+        const AuthResult auth =
+            check_auth(raw->fd, config.auth_token, config.auth_timeout_ms);
+        if (auth != AuthResult::kOk) {
+          // Closed before any job line is read: an unauthenticated peer
+          // never reaches the parser, the service, or the filesystem.
+          if (auth == AuthResult::kTimedOut) {
+            timed_out_metric.add();
+            util::log_warn() << "saim_serve: dropped connection (no auth "
+                                "within "
+                             << config.auth_timeout_ms << " ms)";
+          } else {
+            util::log_warn()
+                << "saim_serve: closed unauthenticated connection";
+          }
+          ::shutdown(raw->fd, SHUT_RDWR);
+          raw->done.store(true);
+          return;
+        }
       }
       service::FdSessionIO io(raw->fd, /*owns_fd=*/false);
       const auto result =
@@ -176,6 +292,7 @@ int serve_listen(service::SolveService& svc,
       raw->done.store(true);
     });
     sessions.push_back(std::move(session));
+    open_metric.set(static_cast<double>(sessions.size()));
   }
   listener->close();
   // Unblock sessions parked in read (an idle client must not veto the
@@ -206,6 +323,7 @@ int serve_listen(service::SolveService& svc,
     session->thread.join();
     ::close(session->fd);
   }
+  open_metric.set(0.0);
   return any_error.load() ? 1 : 0;
 }
 
@@ -228,6 +346,21 @@ int main(int argc, char** argv) {
                 "shared secret for --listen: clients must open with "
                 "{\"auth\":\"<token>\"} or the connection is closed",
                 "")
+      .add_bool("threaded",
+                "serve --listen with the legacy thread-per-connection "
+                "server instead of the event loop (kept one release)")
+      .add_flag("max-connections",
+                "open-connection cap for --listen; further accepts are "
+                "closed immediately",
+                "1024")
+      .add_flag("auth-timeout-ms",
+                "drop a --listen connection that has not completed the "
+                "--auth-token handshake within this deadline (0 disables)",
+                "10000")
+      .add_flag("idle-timeout-ms",
+                "drop an event-loop --listen connection idle this long "
+                "with nothing in flight (0 disables)",
+                "0")
       .add_flag("workers", "solver worker threads (0 = hardware)", "0")
       .add_flag("cache", "result-cache capacity (0 disables)", "256")
       .add_flag("max-batch",
@@ -313,8 +446,20 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (!args.get("listen").empty()) {
-    exit_code = serve_listen(svc, session_options, args.get("listen"),
-                             args.get("port-file"), args.get("auth-token"));
+    ListenConfig listen_config;
+    listen_config.spec = args.get("listen");
+    listen_config.port_file = args.get("port-file");
+    listen_config.auth_token = args.get("auth-token");
+    listen_config.max_connections = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.get_int("max-connections")));
+    listen_config.auth_timeout_ms = static_cast<int>(
+        std::max<std::int64_t>(0, args.get_int("auth-timeout-ms")));
+    listen_config.idle_timeout_ms = static_cast<int>(
+        std::max<std::int64_t>(0, args.get_int("idle-timeout-ms")));
+    exit_code =
+        args.get_bool("threaded")
+            ? serve_listen_threaded(svc, session_options, listen_config)
+            : serve_listen_event(svc, session_options, listen_config);
   } else {
     std::ifstream file_in;
     const std::string input = args.get("input");

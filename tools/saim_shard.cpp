@@ -490,9 +490,18 @@ int main(int argc, char** argv) {
     intake.input_done = true;
   });
 
+  // One write + one flush per pump round, not per line: a round that
+  // completes a burst of shard replies leaves as a single syscall (the
+  // stream-mode reader on the other side splits on newlines anyway).
+  std::string emit_buffer;
   const auto emit = [&](const std::vector<std::string>& emitted) {
     if (emitted.empty()) return;
-    for (const auto& l : emitted) out << l << "\n";
+    emit_buffer.clear();
+    for (const auto& l : emitted) {
+      emit_buffer += l;
+      emit_buffer += '\n';
+    }
+    out << emit_buffer;
     out.flush();
   };
 
